@@ -1,0 +1,27 @@
+"""Benchmark suite configuration.
+
+Scale comes from ``REPRO_BENCH_SCALE`` (smoke|quick|full), default
+"smoke" so the whole suite runs in a few minutes. Each benchmark prints
+the experiment table it reproduced alongside the timing, and asserts the
+paper's qualitative *shape* (who wins, where curves bend) — absolute
+numbers are simulated throughput, see EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def run_experiment(benchmark, module, scale, **kwargs):
+    """Run one experiment module under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        module.run, kwargs={"scale": scale, **kwargs}, rounds=1, iterations=1
+    )
+    print()
+    print(result)
+    return result

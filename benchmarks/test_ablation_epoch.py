@@ -1,0 +1,22 @@
+"""Ablation — epoch duration trade-off (DESIGN.md decision 4)."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import ablation_epoch
+
+
+def test_ablation_epoch_duration(benchmark, bench_scale):
+    result = run_experiment(benchmark, ablation_epoch, bench_scale)
+    rows = result.as_dicts()
+    p50 = [row["p50 ms"] for row in rows]
+    epochs = [row["epoch ms"] for row in rows]
+
+    # The latency floor tracks the epoch length (at heavy load queueing
+    # adds a constant, so allow slack on near-equal neighbours).
+    for earlier, later in zip(p50, p50[1:]):
+        assert later > earlier * 0.9
+    assert p50[-1] > epochs[-1] * 0.8
+    # Very long epochs starve closed-loop clients: throughput at 50ms
+    # epochs is clearly below the 10ms default's.
+    ten = next(row for row in rows if row["epoch ms"] == 10.0)
+    fifty = next(row for row in rows if row["epoch ms"] == 50.0)
+    assert fifty["total txn/s"] < ten["total txn/s"]

@@ -1,0 +1,17 @@
+"""Ablation — lock-manager sharding lifts the admission ceiling."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import ablation_lockmanager
+
+
+def test_ablation_lock_manager_shards(benchmark, bench_scale):
+    result = run_experiment(benchmark, ablation_lockmanager, bench_scale)
+    rows = result.as_dicts()
+    one = next(r for r in rows if r["shards"] == 1)
+    four = next(r for r in rows if r["shards"] == 4)
+
+    # With admission as the bottleneck, 4 shards should give a large
+    # (near-linear) speedup over the paper's single thread.
+    assert four["per-machine txn/s"] > 2.5 * one["per-machine txn/s"]
+    # Latency falls correspondingly (the admission queue drains faster).
+    assert four["p50 ms"] < one["p50 ms"]

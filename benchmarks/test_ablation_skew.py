@@ -1,0 +1,18 @@
+"""Ablation — Zipfian access skew under deterministic locking."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import ablation_skew
+
+
+def test_ablation_skew(benchmark, bench_scale):
+    result = run_experiment(benchmark, ablation_skew, bench_scale)
+    rows = result.as_dicts()
+    uniform = rows[0]
+    worst = rows[-1]
+
+    # Update-heavy traffic suffers from skew (exclusive locks serialize
+    # the Zipf head); read-heavy traffic barely notices (shared locks).
+    assert worst["update-heavy txn/s"] < 0.7 * uniform["update-heavy txn/s"]
+    read_drop = worst["read-heavy txn/s"] / uniform["read-heavy txn/s"]
+    update_drop = worst["update-heavy txn/s"] / uniform["update-heavy txn/s"]
+    assert read_drop > update_drop

@@ -1,0 +1,18 @@
+"""Ablation — worker pool size."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import ablation_workers
+
+
+def test_ablation_worker_count(benchmark, bench_scale):
+    result = run_experiment(benchmark, ablation_workers, bench_scale)
+    rows = result.as_dicts()
+    rates = [row["per-machine txn/s"] for row in rows]
+
+    # More workers help up to a point...
+    assert rates[1] > rates[0]
+    # ...then the single lock-manager admission thread caps throughput:
+    # doubling 16 -> 32 workers buys little.
+    sixteen = next(r for r in rows if r["workers"] == 16)
+    thirty_two = next(r for r in rows if r["workers"] == 32)
+    assert thirty_two["per-machine txn/s"] < 1.5 * sixteen["per-machine txn/s"]

@@ -1,0 +1,19 @@
+"""E6 — Paxos WAN replication: latency, not throughput."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e6_replication
+
+
+def test_e6_replication_modes(benchmark, bench_scale):
+    result = run_experiment(benchmark, e6_replication, bench_scale)
+    rows = {row["mode"]: row for row in result.as_dicts()}
+
+    none, async_, paxos = rows["none"], rows["async"], rows["paxos"]
+    # Async replication is free on both axes.
+    assert async_["total txn/s"] > 0.9 * none["total txn/s"]
+    assert async_["p50 ms"] < none["p50 ms"] * 1.3
+    # Paxos: throughput essentially unchanged (the paper's claim)...
+    assert paxos["total txn/s"] > 0.8 * none["total txn/s"]
+    # ...latency absorbs roughly one WAN round trip (100ms at 50ms one-way).
+    assert paxos["p50 ms"] > none["p50 ms"] + 80
+    assert paxos["p50 ms"] < none["p50 ms"] + 250

@@ -1,0 +1,14 @@
+"""E7 — determinism end-to-end: replicas, checkpoint recovery, replay."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e7_recovery
+
+
+def test_e7_recovery(benchmark, bench_scale):
+    result = run_experiment(benchmark, e7_recovery, bench_scale)
+    outcomes = {row["check"]: row["result"] for row in result.as_dicts()}
+    assert outcomes == {
+        "replica consistency": "PASS",
+        "checkpoint recovery": "PASS",
+        "full log replay": "PASS",
+    }

@@ -1,0 +1,21 @@
+"""E8 — no single point of failure."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e8_failover
+
+
+def test_e8_replica_failover(benchmark, bench_scale):
+    result = run_experiment(benchmark, e8_failover, bench_scale)
+    rows = result.as_dicts()
+    before = [r for r in rows if r["t (s)"] < 0.65]
+    after = [r for r in rows if r["t (s)"] > 0.8]
+    # Commits arrive in WAN-round bursts, so compare window averages.
+    steady = sum(r["minority crash"] for r in before) / len(before)
+
+    # Losing a minority replica does not dent average throughput.
+    minority_after = [r["minority crash"] for r in after]
+    assert sum(minority_after) / len(minority_after) > 0.75 * steady
+    # Losing a majority stalls agreement outright.
+    majority_after = [r["majority crash"] for r in after]
+    assert majority_after[-1] < 0.1 * steady
+    assert sum(majority_after) / len(majority_after) < 0.2 * steady

@@ -1,0 +1,20 @@
+"""E1 / Figure 5 — TPC-C New Order scalability."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import fig5_tpcc_scalability
+
+
+def test_fig5_tpcc_scalability(benchmark, bench_scale):
+    result = run_experiment(benchmark, fig5_tpcc_scalability, bench_scale)
+    machines = result.column("machines")
+    totals = result.column("total txn/s")
+    per_machine = result.column("per-machine txn/s")
+
+    # Total throughput grows with cluster size (near-linear scaling).
+    assert totals == sorted(totals)
+    assert totals[-1] > totals[0]
+    # Per-machine throughput is in the paper's order of magnitude (~5k)
+    # and does not collapse as machines are added.
+    assert all(rate > 1000 for rate in per_machine)
+    if len(machines) >= 3:
+        assert per_machine[-1] > 0.5 * per_machine[1]

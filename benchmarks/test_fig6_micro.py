@@ -1,0 +1,21 @@
+"""E2 / Figure 6 — microbenchmark per-machine scalability."""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import fig6_microbenchmark
+
+
+def test_fig6_microbenchmark(benchmark, bench_scale):
+    result = run_experiment(benchmark, fig6_microbenchmark, bench_scale)
+    by_mp = defaultdict(list)
+    for row in result.as_dicts():
+        by_mp[row["mp %"]].append(row["per-machine txn/s"])
+
+    # Ordering between curves: 0% > 10% > 100% multipartition.
+    assert min(by_mp[0]) > max(by_mp[10])
+    assert min(by_mp[10]) > max(by_mp[100])
+    # Each curve is near-flat as machines are added (scalability):
+    # the largest cluster retains most of the smallest's per-machine rate.
+    for mp, rates in by_mp.items():
+        assert rates[-1] > 0.6 * rates[0], f"mp={mp}% curve collapsed: {rates}"

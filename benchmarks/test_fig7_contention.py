@@ -1,0 +1,23 @@
+"""E3 / Figure 7 — slowdown under contention, Calvin vs 2PC."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import fig7_contention
+
+
+def test_fig7_contention(benchmark, bench_scale):
+    result = run_experiment(benchmark, fig7_contention, bench_scale)
+    rows = result.as_dicts()
+    calvin = [row["calvin slowdown"] for row in rows]
+    twopc = [row["2pc slowdown"] for row in rows]
+
+    # Both systems degrade as the contention index rises...
+    assert calvin[-1] > calvin[0]
+    assert twopc[-1] > twopc[0]
+    # ...but the 2PC system degrades dramatically more: at the highest
+    # contention its slowdown exceeds Calvin's by a large factor.
+    assert twopc[-1] > 3 * calvin[-1]
+    # And the 2PC system falls off much earlier: at moderate contention
+    # (index 0.01) Calvin has lost little while 2PC is already hurting.
+    mid = next(i for i, row in enumerate(rows) if row["contention idx"] >= 0.01)
+    assert calvin[mid] < 1.5
+    assert twopc[mid] > calvin[mid]

@@ -1,0 +1,19 @@
+"""OLLP restart sensitivity to dependency churn."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import ollp_restarts
+
+
+def test_ollp_restart_sensitivity(benchmark, bench_scale):
+    result = run_experiment(benchmark, ollp_restarts, bench_scale)
+    rows = result.as_dicts()
+    ratios = [row["restart ratio"] for row in rows]
+
+    # No queue churn -> reconnaissance never goes stale.
+    assert ratios[0] == 0
+    # Churn causes real restart pressure...
+    assert max(ratios[1:]) > 0.3
+    # ...yet OLLP keeps making progress: deliveries commit at every
+    # churn level (the client's bounded-retry loop converges).
+    assert all(row["deliveries/s"] > 0 for row in rows)
+    assert all(ratio < 0.97 for ratio in ratios)

@@ -1,0 +1,136 @@
+"""Building your own workload and benchmarking it — end to end.
+
+Run:  python examples/custom_workload.py
+
+Defines a small social-network workload (users post messages; followers
+read timelines) on top of the public `Workload` interface, runs it on a
+Calvin cluster at two contention settings, verifies serializability,
+and renders the comparison as an ASCII chart — the same machinery the
+paper-figure experiments use.
+"""
+
+import random
+from typing import Dict
+
+from repro import (
+    CalvinCluster,
+    ClusterConfig,
+    ProcedureRegistry,
+    TxnSpec,
+    Workload,
+    check_serializability,
+)
+from repro.bench.charts import ascii_chart
+from repro.bench.reporting import ExperimentResult
+from repro.partition.partitioner import FuncPartitioner
+from repro.txn.procedures import Procedure
+
+USERS_PER_PARTITION = 50
+TIMELINE_KEEP = 10
+
+
+def post_logic(ctx):
+    """Append a message to the author's wall and bump their post count."""
+    author, message = ctx.args
+    wall_key = ("wall", author[1], author[2])
+    wall = ctx.read(wall_key) or ()
+    ctx.write(wall_key, (wall + (message,))[-TIMELINE_KEEP:])
+    stats_key = ("stats", author[1], author[2])
+    stats = ctx.read(stats_key) or {"posts": 0}
+    ctx.write(stats_key, {**stats, "posts": stats["posts"] + 1})
+    return len(wall) + 1
+
+
+def read_timeline_logic(ctx):
+    """Merge the walls of the users in the read set (a tiny timeline)."""
+    merged = []
+    for key in sorted(ctx.txn.read_set, key=repr):
+        if key[0] == "wall":
+            merged.extend(ctx.read(key) or ())
+    return tuple(merged[-TIMELINE_KEEP:])
+
+
+class SocialWorkload(Workload):
+    """90% timeline reads over a hot set of celebrities, 10% posts."""
+
+    name = "social"
+
+    def __init__(self, celebrities: int = 25):
+        # Fewer celebrities = more write contention on their walls.
+        self.celebrities = celebrities
+
+    def register(self, registry: ProcedureRegistry) -> None:
+        registry.register(Procedure("post", post_logic, logic_cpu=40e-6))
+        registry.register(
+            Procedure("read_timeline", read_timeline_logic, logic_cpu=30e-6)
+        )
+
+    def build_partitioner(self, num_partitions: int):
+        return FuncPartitioner(num_partitions, lambda key: key[1])
+
+    def initial_data(self, catalog) -> Dict:
+        data = {}
+        for p in range(catalog.num_partitions):
+            for u in range(USERS_PER_PARTITION):
+                data[("wall", p, u)] = ()
+                data[("stats", p, u)] = {"posts": 0}
+        return data
+
+    def _celebrity(self, rng: random.Random, catalog):
+        partition = rng.randrange(catalog.num_partitions)
+        return ("user", partition, rng.randrange(min(self.celebrities,
+                                                     USERS_PER_PARTITION)))
+
+    def generate(self, rng: random.Random, origin_partition: int, catalog) -> TxnSpec:
+        if rng.random() < 0.10:
+            # Celebrities do the posting: their walls are both the
+            # hottest read targets and the write targets, so a smaller
+            # celebrity set means real read-write contention.
+            author = self._celebrity(rng, catalog)
+            keys = {("wall", author[1], author[2]), ("stats", author[1], author[2])}
+            return TxnSpec("post", (author, f"msg-{rng.randrange(10**6)}"),
+                           keys, keys)
+        followed = {self._celebrity(rng, catalog) for _ in range(3)}
+        walls = frozenset(("wall", u[1], u[2]) for u in followed)
+        return TxnSpec("read_timeline", None, walls, frozenset())
+
+
+def measure(celebrities: int) -> float:
+    cluster = CalvinCluster(
+        ClusterConfig(num_partitions=2, seed=31),
+        workload=SocialWorkload(celebrities=celebrities),
+        record_history=False,
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(per_partition=200)
+    report = cluster.run(duration=0.25, warmup=0.15)
+    return report.throughput
+
+
+def main() -> None:
+    # Correctness first: a bounded run through the serializability checker.
+    cluster = CalvinCluster(
+        ClusterConfig(num_partitions=2, seed=31), workload=SocialWorkload()
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(per_partition=8, max_txns=25)
+    cluster.run(duration=0.3)
+    cluster.quiesce()
+    checked = check_serializability(cluster)
+    print(f"custom workload serializable over {checked} transactions")
+
+    result = ExperimentResult(
+        experiment="custom",
+        title="Social workload: throughput vs celebrity-set size",
+        headers=("celebrities", "txn/s"),
+    )
+    for celebrities in (50, 10, 2):
+        result.add_row(celebrities, measure(celebrities))
+    print()
+    print(result)
+    print()
+    print(ascii_chart(result, label_header="celebrities"))
+
+
+if __name__ == "__main__":
+    main()

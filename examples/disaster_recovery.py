@@ -1,0 +1,67 @@
+"""Checkpoint, crash, replay: recovery without redo logging.
+
+Run:  python examples/disaster_recovery.py
+
+Calvin logs transaction *inputs*, never effects. Recovery is therefore:
+restore the latest (transactionally consistent) checkpoint, then replay
+the input-log suffix deterministically. This example takes an
+asynchronous Zig-Zag-style checkpoint under live load, "loses" the
+cluster, rebuilds from checkpoint + log, and verifies the reconstruction
+is exact.
+"""
+
+from repro import CalvinCluster, ClusterConfig, Microbenchmark
+
+
+def main() -> None:
+    workload = Microbenchmark(mp_fraction=0.2, hot_set_size=50, cold_set_size=2000)
+    config = ClusterConfig(num_partitions=2, seed=77)
+    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(per_partition=10, max_txns=80)
+
+    # Checkpoint while transactions are running (no outage: zigzag keeps
+    # two versions per mutated record and dumps in the background).
+    done = cluster.schedule_checkpoint(at_time=0.15, mode="zigzag")
+    cluster.run(duration=0.8)
+    cluster.quiesce()
+    assert done.triggered
+
+    watermark = cluster.checkpoints[0].epoch
+    records = sum(s.record_count for s in cluster.checkpoints.values())
+    capture = max(s.finished_at - s.started_at for s in cluster.checkpoints.values())
+    print(f"checkpoint: epoch watermark {watermark}, {records} records, "
+          f"captured in {capture * 1e3:.0f} ms of virtual time, zero downtime")
+    print(f"workload kept committing: {cluster.metrics.committed} transactions")
+
+    # The input log can now be truncated below the watermark.
+    dropped = sum(
+        cluster.node(0, p).input_log.truncate_before(watermark)
+        for p in range(config.num_partitions)
+    )
+    print(f"input log truncated: {dropped} pre-checkpoint batches dropped")
+
+    # ---- simulated total cluster loss ----
+    live_state = cluster.final_state()
+    checkpoint_image = {}
+    for snapshot in cluster.checkpoints.values():
+        checkpoint_image.update(snapshot.data)
+    surviving_log = cluster.merged_log()  # what durable storage retained
+
+    recovered = CalvinCluster.replay(
+        config,
+        cluster.registry,
+        cluster.catalog.partitioner,
+        checkpoint_image,
+        surviving_log,
+        start_epoch=watermark,
+    )
+    replayed = sum(len(entry.txns) for entry in surviving_log)
+    exact = recovered.final_state() == live_state
+    print(f"recovery: replayed {replayed} transactions deterministically")
+    print(f"recovered state identical to pre-crash state: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments without PEP 660 tooling (offline installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Calvin: fast distributed transactions for partitioned database systems.
+
+A comprehensive reproduction of Thomson et al. (SIGMOD 2012) in Python.
+Transactions execute real stored-procedure logic against real
+per-partition stores; time, network, disk and CPU are modeled by a
+deterministic discrete-event simulation, so the paper's throughput,
+scalability, contention and checkpointing experiments can be regenerated
+on a laptop while correctness (determinism, serializability, replica
+consistency) is checked on actual data.
+
+Quickstart::
+
+    from repro import CalvinDB
+
+    db = CalvinDB(num_partitions=2)
+
+    @db.procedure("deposit")
+    def deposit(ctx):
+        key, amount = ctx.args
+        ctx.write(key, (ctx.read(key) or 0) + amount)
+
+    db.load({"acct": 0})
+    result = db.execute("deposit", ("acct", 5),
+                        read_set=["acct"], write_set=["acct"])
+    assert result.committed and db.get("acct") == 5
+"""
+
+from repro.config import BaselineConfig, ClusterConfig, CostModel, DEFAULT_CONFIG
+from repro.core import (
+    CalvinCluster,
+    CalvinDB,
+    Metrics,
+    RunReport,
+    check_conflict_order,
+    check_replica_consistency,
+    check_serializability,
+)
+from repro.errors import (
+    ConfigError,
+    ConsistencyError,
+    FootprintViolation,
+    ReproError,
+    TransactionAborted,
+)
+from repro.txn import (
+    Footprint,
+    Procedure,
+    ProcedureRegistry,
+    Transaction,
+    TransactionResult,
+    TxnContext,
+    TxnStatus,
+)
+from repro.workloads import (
+    Microbenchmark,
+    TpccWorkload,
+    TxnSpec,
+    Workload,
+    YcsbWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineConfig",
+    "CalvinCluster",
+    "CalvinDB",
+    "ClusterConfig",
+    "ConfigError",
+    "ConsistencyError",
+    "CostModel",
+    "DEFAULT_CONFIG",
+    "Footprint",
+    "FootprintViolation",
+    "Metrics",
+    "Microbenchmark",
+    "Procedure",
+    "ProcedureRegistry",
+    "ReproError",
+    "RunReport",
+    "TpccWorkload",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionResult",
+    "TxnContext",
+    "TxnSpec",
+    "TxnStatus",
+    "Workload",
+    "YcsbWorkload",
+    "check_conflict_order",
+    "check_replica_consistency",
+    "check_serializability",
+]

@@ -1,0 +1,159 @@
+"""Conventional strict-2PL lock table with wait-die deadlock avoidance.
+
+Unlike Calvin's deterministic lock manager (requests arrive in the
+agreed serial order, so conflicts just queue), here requests arrive in
+whatever order the network produces them, so the table must prevent
+deadlock: **wait-die** — an older transaction (smaller timestamp) may
+wait for a younger holder; a younger requester *dies* (aborts) rather
+than wait for an older one. Waits-for edges therefore always point from
+older to younger and can never form a cycle; this holds globally because
+every transaction carries one timestamp to all partitions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.errors import SchedulerError
+from repro.partition.partitioner import Key
+from repro.scheduler.lockmanager import LockMode
+from repro.sim.events import Event
+
+GRANTED = "granted"
+DIED = "died"
+
+
+class _Waiter:
+    __slots__ = ("ts", "mode", "event")
+
+    def __init__(self, ts: int, mode: LockMode, event: Event):
+        self.ts = ts
+        self.mode = mode
+        self.event = event
+
+
+class _LockState:
+    __slots__ = ("holders", "queue")
+
+    def __init__(self) -> None:
+        # ts -> mode for current holders (all READ, or one WRITE).
+        self.holders: Dict[int, LockMode] = {}
+        self.queue: Deque[_Waiter] = deque()
+
+
+class TwoPhaseLockTable:
+    """Per-partition lock table for the baseline system."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._locks: Dict[Key, _LockState] = {}
+        # ts -> keys currently held (for release_all).
+        self._held: Dict[int, List[Key]] = {}
+        self.grants = 0
+        self.deaths = 0
+        self.waits = 0
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(self, ts: int, key: Key, mode: LockMode) -> Event:
+        """Request one lock. The returned event succeeds with ``GRANTED``
+        or ``DIED`` (wait-die abort) — it never blocks forever."""
+        event = Event(self.sim)
+        state = self._locks.setdefault(key, _LockState())
+
+        if self._compatible(state, ts, mode):
+            self._grant(state, ts, key, mode, event)
+            return event
+
+        conflicting = [
+            holder_ts
+            for holder_ts, holder_mode in state.holders.items()
+            if holder_ts != ts and (mode is LockMode.WRITE or holder_mode is LockMode.WRITE)
+        ]
+        if any(ts > holder_ts for holder_ts in conflicting):
+            # Younger than a conflicting holder: die immediately.
+            self.deaths += 1
+            event.succeed(DIED)
+            if not state.holders and not state.queue:
+                del self._locks[key]
+            return event
+        self.waits += 1
+        state.queue.append(_Waiter(ts, mode, event))
+        return event
+
+    def _compatible(self, state: _LockState, ts: int, mode: LockMode) -> bool:
+        if not state.holders:
+            # Joining an empty lock still queues behind waiters (fairness
+            # is handled at release; empty-with-queue only occurs
+            # transiently inside release processing).
+            return not state.queue
+        if ts in state.holders:
+            # Re-entrant upgrade requests are not supported; callers
+            # request WRITE first for read-write keys.
+            raise SchedulerError(f"transaction {ts} already holds this lock")
+        if mode is LockMode.READ and state.queue:
+            # Readers don't jump over queued writers (prevents writer
+            # starvation; also keeps wait-die analysis per-holder only).
+            return False
+        return mode is LockMode.READ and all(
+            held is LockMode.READ for held in state.holders.values()
+        )
+
+    def _grant(
+        self, state: _LockState, ts: int, key: Key, mode: LockMode, event: Event
+    ) -> None:
+        state.holders[ts] = mode
+        self._held.setdefault(ts, []).append(key)
+        self.grants += 1
+        event.succeed(GRANTED)
+
+    # -- release ---------------------------------------------------------------
+
+    def release_all(self, ts: int) -> None:
+        """Release every lock ``ts`` holds; wake or kill waiters."""
+        for key in self._held.pop(ts, []):
+            state = self._locks.get(key)
+            if state is None or ts not in state.holders:
+                raise SchedulerError(f"{ts} does not hold lock on {key!r}")
+            del state.holders[ts]
+            self._promote(state, key)
+            if not state.holders and not state.queue:
+                self._locks.pop(key, None)
+
+    def _promote(self, state: _LockState, key: Key) -> None:
+        # Grant the longest-waiting compatible prefix of the queue.
+        while state.queue:
+            waiter = state.queue[0]
+            if state.holders:
+                if waiter.mode is LockMode.WRITE or any(
+                    held is LockMode.WRITE for held in state.holders.values()
+                ):
+                    break
+            state.queue.popleft()
+            self._grant(state, waiter.ts, key, waiter.mode, waiter.event)
+        # Re-apply wait-die to the remaining waiters against the new
+        # holders (a waiter may now be younger than a new holder).
+        if state.queue and state.holders:
+            survivors: Deque[_Waiter] = deque()
+            for waiter in state.queue:
+                conflicting = [
+                    holder_ts
+                    for holder_ts, held in state.holders.items()
+                    if waiter.mode is LockMode.WRITE or held is LockMode.WRITE
+                ]
+                if any(waiter.ts > holder_ts for holder_ts in conflicting):
+                    self.deaths += 1
+                    waiter.event.succeed(DIED)
+                else:
+                    survivors.append(waiter)
+            state.queue = survivors
+
+    # -- introspection ------------------------------------------------------------
+
+    def held_by(self, ts: int) -> List[Key]:
+        return list(self._held.get(ts, ()))
+
+    @property
+    def active_locks(self) -> int:
+        return len(self._locks)

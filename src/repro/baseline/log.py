@@ -1,0 +1,55 @@
+"""Group-commit write-ahead log for the baseline system.
+
+Synchronous log forces dominate commit latency in a conventional
+engine. Group commit amortizes them: all force requests arriving while a
+flush is in progress share the next flush, so throughput is not bounded
+by 1/force_latency, but every committer still waits for a real flush.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.events import Event
+
+
+class GroupCommitLog:
+    """Batched synchronous log forces."""
+
+    def __init__(self, sim, force_latency: float):
+        self.sim = sim
+        self.force_latency = force_latency
+        self._pending: List[Event] = []
+        self._flushing = False
+        self.forces = 0
+        self.flushes = 0
+
+    def force(self) -> Event:
+        """An event that triggers once this request's records are durable."""
+        self.forces += 1
+        event = Event(self.sim)
+        if self.force_latency <= 0:
+            event.succeed()
+            return event
+        self._pending.append(event)
+        if not self._flushing:
+            self._start_flush()
+        return event
+
+    def _start_flush(self) -> None:
+        self._flushing = True
+        batch, self._pending = self._pending, []
+        self.flushes += 1
+        self.sim.schedule(self.force_latency, self._finish_flush, batch)
+
+    def _finish_flush(self, batch: List[Event]) -> None:
+        for event in batch:
+            event.succeed()
+        if self._pending:
+            self._start_flush()
+        else:
+            self._flushing = False
+
+    @property
+    def average_batch_size(self) -> float:
+        return self.forces / self.flushes if self.flushes else 0.0

@@ -1,0 +1,72 @@
+"""Wire protocol of the baseline (2PL + 2PC) system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.partition.partitioner import Key
+
+_HEADER = 64
+_RECORD = 120
+
+
+@dataclass(frozen=True)
+class ExecRequest:
+    """Coordinator → participant: acquire these locks, return read values."""
+
+    txn_id: int
+    ts: int
+    coordinator_partition: int
+    read_keys: Tuple[Key, ...]
+    write_keys: Tuple[Key, ...]
+
+    def size_estimate(self) -> int:
+        return _HEADER + 24 * (len(self.read_keys) + len(self.write_keys))
+
+
+@dataclass(frozen=True)
+class ExecReply:
+    """Participant → coordinator: locks held + values, or wait-die abort."""
+
+    txn_id: int
+    from_partition: int
+    ok: bool
+    values: Dict[Key, Any]
+
+    def size_estimate(self) -> int:
+        return _HEADER + _RECORD * max(1, len(self.values))
+
+
+@dataclass(frozen=True)
+class PrepareRequest:
+    """Coordinator → participant: 2PC phase 1, carrying the writes."""
+
+    txn_id: int
+    coordinator_partition: int
+    writes: Dict[Key, Any]
+
+    def size_estimate(self) -> int:
+        return _HEADER + _RECORD * max(1, len(self.writes))
+
+
+@dataclass(frozen=True)
+class PrepareVote:
+    """Participant → coordinator: prepared (force-logged) and voting yes."""
+
+    txn_id: int
+    from_partition: int
+
+    def size_estimate(self) -> int:
+        return _HEADER
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Coordinator → participant: 2PC phase 2 (commit or abort)."""
+
+    txn_id: int
+    commit: bool
+
+    def size_estimate(self) -> int:
+        return _HEADER

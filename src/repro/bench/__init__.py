@@ -1,0 +1,30 @@
+"""Benchmark harness: one module per paper figure/experiment.
+
+Each experiment module exposes ``run(scale=...) -> ExperimentResult``
+and can be executed directly (``python -m repro.bench.experiments.fig6_microbenchmark``).
+``scale`` trades fidelity for wall-clock time:
+
+- ``"smoke"`` — seconds; used by the pytest-benchmark suite's sanity runs,
+- ``"quick"`` — tens of seconds; default, reproduces every trend,
+- ``"full"``  — minutes; largest clusters/longest windows.
+
+The numbers are *simulated* throughput (virtual-time transactions per
+second); see EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from repro.bench.reporting import ExperimentResult, format_table
+from repro.bench.charts import ascii_chart
+from repro.bench.compare import Comparison, compare_files, compare_results
+from repro.bench.io import load_json, save_csv, save_json
+
+__all__ = [
+    "Comparison",
+    "ExperimentResult",
+    "ascii_chart",
+    "compare_files",
+    "compare_results",
+    "format_table",
+    "load_json",
+    "save_csv",
+    "save_json",
+]

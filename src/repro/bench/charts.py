@@ -1,0 +1,74 @@
+"""ASCII charts for experiment results.
+
+Terminal-renderable bar charts so a benchmark's shape is visible without
+leaving the shell (the CLI's ``--chart`` flag). Each numeric column of
+an :class:`~repro.bench.reporting.ExperimentResult` becomes a bar per
+row, scaled to the column-set maximum, so relative magnitudes across
+rows *and* across series read directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import ExperimentResult
+from repro.errors import ConfigError
+
+_FILLS = "█▓▒░#*+-"
+
+
+def _numeric_columns(result: ExperimentResult) -> List[str]:
+    numeric = []
+    for header in result.headers:
+        values = result.column(header)
+        if values and all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                          for v in values):
+            numeric.append(header)
+    return numeric
+
+
+def ascii_chart(
+    result: ExperimentResult,
+    label_header: Optional[str] = None,
+    value_headers: Optional[Sequence[str]] = None,
+    width: int = 48,
+) -> str:
+    """Render ``result`` as horizontal bars.
+
+    ``label_header`` defaults to the first column; ``value_headers``
+    default to every other numeric column. All series share one scale.
+    """
+    if not result.rows:
+        raise ConfigError("cannot chart an empty result")
+    headers = list(result.headers)
+    label_header = label_header or headers[0]
+    if label_header not in headers:
+        raise ConfigError(f"unknown label column {label_header!r}")
+    if value_headers is None:
+        value_headers = [h for h in _numeric_columns(result) if h != label_header]
+    if not value_headers:
+        raise ConfigError("no numeric columns to chart")
+    for header in value_headers:
+        if header not in headers:
+            raise ConfigError(f"unknown value column {header!r}")
+    if len(value_headers) > len(_FILLS):
+        raise ConfigError(f"at most {len(_FILLS)} series supported")
+
+    labels = [str(v) for v in result.column(label_header)]
+    series = {h: result.column(h) for h in value_headers}
+    peak = max(max(values) for values in series.values())
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(label) for label in labels + [label_header])
+
+    lines = [f"{result.experiment}: {result.title}"]
+    for header, fill in zip(value_headers, _FILLS):
+        lines.append(f"  {fill} = {header}")
+    for index, label in enumerate(labels):
+        for header, fill in zip(value_headers, _FILLS):
+            value = series[header][index]
+            bar = fill * max(0, round(value / peak * width))
+            shown = label if header == value_headers[0] else ""
+            lines.append(
+                f"{shown.rjust(label_width)} |{bar.ljust(width)}| {value:,.1f}"
+            )
+    return "\n".join(lines)

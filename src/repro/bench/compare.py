@@ -1,0 +1,97 @@
+"""Compare two saved experiment results (regression tooling).
+
+``python -m repro compare old.json new.json`` prints per-cell relative
+deltas and flags regressions beyond a threshold — the workflow for
+checking that a change to the engine did not silently shift a paper
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bench.io import load_json
+from repro.bench.reporting import ExperimentResult
+from repro.errors import ConfigError
+
+
+@dataclass
+class CellDelta:
+    """One numeric cell's change between two runs."""
+
+    row_label: str
+    column: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class Comparison:
+    """All deltas between two results plus a regression verdict."""
+
+    experiment: str
+    deltas: List[CellDelta] = field(default_factory=list)
+    threshold: float = 0.10
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [d for d in self.deltas if abs(d.relative) > self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def __str__(self) -> str:
+        lines = [f"== compare: {self.experiment} (threshold ±{self.threshold:.0%}) =="]
+        for delta in self.deltas:
+            flag = "  REGRESSION" if abs(delta.relative) > self.threshold else ""
+            lines.append(
+                f"{delta.row_label:>12}  {delta.column:<24} "
+                f"{delta.old:>12,.1f} -> {delta.new:>12,.1f} "
+                f"({delta.relative:+.1%}){flag}"
+            )
+        lines.append("verdict: " + ("OK" if self.ok else
+                                     f"{len(self.regressions)} cell(s) moved"))
+        return "\n".join(lines)
+
+
+def compare_results(
+    old: ExperimentResult,
+    new: ExperimentResult,
+    threshold: float = 0.10,
+) -> Comparison:
+    """Cell-by-cell numeric comparison of two runs of one experiment."""
+    if list(old.headers) != list(new.headers):
+        raise ConfigError(
+            f"results have different columns: {old.headers} vs {new.headers}"
+        )
+    if len(old.rows) != len(new.rows):
+        raise ConfigError(
+            f"results have different row counts: {len(old.rows)} vs {len(new.rows)}"
+        )
+    comparison = Comparison(experiment=new.experiment, threshold=threshold)
+    headers = list(old.headers)
+    for old_row, new_row in zip(old.rows, new.rows):
+        label = str(old_row[0])
+        for index, header in enumerate(headers[1:], start=1):
+            old_value, new_value = old_row[index], new_row[index]
+            if isinstance(old_value, bool) or not isinstance(old_value, (int, float)):
+                continue
+            if not isinstance(new_value, (int, float)):
+                continue
+            comparison.deltas.append(
+                CellDelta(label, header, float(old_value), float(new_value))
+            )
+    return comparison
+
+
+def compare_files(old_path: str, new_path: str, threshold: float = 0.10) -> Comparison:
+    """Load two archived JSON results and compare them."""
+    return compare_results(load_json(old_path), load_json(new_path), threshold)

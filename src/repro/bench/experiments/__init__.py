@@ -1,0 +1,1 @@
+"""Experiment modules, one per paper figure / claim (see DESIGN.md E1-E7)."""

@@ -1,0 +1,43 @@
+"""Ablation — epoch duration (DESIGN.md decision 4).
+
+Calvin batches inputs into 10 ms epochs. Shorter epochs cut the
+sequencing latency floor but multiply per-epoch overheads (sub-batch
+fan-out is O(partitions²) messages per epoch); longer epochs amortize
+overheads at the cost of latency. This sweep quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.reporting import ExperimentResult
+from repro.config import ClusterConfig
+from repro.workloads.microbenchmark import Microbenchmark
+
+EPOCHS = (0.002, 0.005, 0.010, 0.020, 0.050)
+
+
+def run(scale: str = "quick", seed: int = 2012, machines: int = 4) -> ExperimentResult:
+    profile = ScaleProfile.get(scale)
+    result = ExperimentResult(
+        experiment="Ablation (epoch)",
+        title="Epoch duration: throughput vs latency",
+        headers=("epoch ms", "total txn/s", "p50 ms", "p99 ms"),
+        notes="the paper fixes 10ms; latency floor tracks epoch length",
+    )
+    for epoch in EPOCHS:
+        workload = Microbenchmark(mp_fraction=0.10, hot_set_size=10000)
+        config = ClusterConfig(
+            num_partitions=machines, seed=seed, epoch_duration=epoch
+        )
+        report = run_calvin(workload, config, profile)
+        result.add_row(
+            epoch * 1e3,
+            report.throughput,
+            report.latency_p50 * 1e3,
+            report.latency_p99 * 1e3,
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

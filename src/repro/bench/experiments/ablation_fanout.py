@@ -1,0 +1,48 @@
+"""Ablation — multipartition fan-out (participants per transaction).
+
+The paper's microbenchmark caps multipartition transactions at two
+participants. This sweep extends it: each additional participant adds
+per-node message handling and another partition's locks, but the
+protocol still needs only ONE remote-read exchange (no commit round),
+so throughput degrades roughly with the total per-transaction work
+rather than falling off a coordination cliff.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.reporting import ExperimentResult
+from repro.config import ClusterConfig
+from repro.workloads.microbenchmark import Microbenchmark
+
+FANOUTS = (2, 3, 4, 6)
+
+
+def run(scale: str = "quick", seed: int = 2012, machines: int = 6) -> ExperimentResult:
+    profile = ScaleProfile.get(scale)
+    machines = min(machines, profile.max_machines)
+    result = ExperimentResult(
+        experiment="Ablation (fan-out)",
+        title="Participants per multipartition txn vs throughput (100% mp)",
+        headers=("participants", "total txn/s", "per-machine txn/s", "p50 ms"),
+        notes="one remote-read exchange regardless of fan-out — no 2PC cliff",
+    )
+    for fanout in FANOUTS:
+        if fanout > machines:
+            continue
+        workload = Microbenchmark(
+            mp_fraction=1.0, hot_set_size=10000, partitions_per_txn=fanout
+        )
+        config = ClusterConfig(num_partitions=machines, seed=seed)
+        report = run_calvin(workload, config, profile)
+        result.add_row(
+            fanout,
+            report.throughput,
+            report.throughput / machines,
+            report.latency_p50 * 1e3,
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

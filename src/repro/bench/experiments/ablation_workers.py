@@ -1,0 +1,42 @@
+"""Ablation — worker pool size (execution concurrency per node).
+
+Per-machine throughput versus the number of worker contexts. Throughput
+scales with workers while they are the bottleneck, then flattens when
+the single-threaded lock-manager admission (Calvin's serialization
+point, ~O(locks x lock_request_cpu) per transaction) takes over —
+the same ceiling the paper's single-lock-manager design discussion
+implies.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.reporting import ExperimentResult
+from repro.config import ClusterConfig
+from repro.workloads.microbenchmark import Microbenchmark
+
+WORKER_COUNTS = (2, 4, 8, 16, 32)
+
+
+def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> ExperimentResult:
+    profile = ScaleProfile.get(scale)
+    result = ExperimentResult(
+        experiment="Ablation (workers)",
+        title="Worker contexts per node vs per-machine throughput",
+        headers=("workers", "per-machine txn/s", "p50 ms"),
+        notes="flattens when the single lock-manager thread becomes the bound",
+    )
+    for workers in WORKER_COUNTS:
+        workload = Microbenchmark(mp_fraction=0.10, hot_set_size=10000)
+        config = ClusterConfig(
+            num_partitions=machines, seed=seed, workers_per_node=workers
+        )
+        report = run_calvin(workload, config, profile)
+        result.add_row(
+            workers, report.throughput / machines, report.latency_p50 * 1e3
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

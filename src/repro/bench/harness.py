@@ -1,0 +1,76 @@
+"""Shared plumbing for experiments: build, load, saturate, measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baseline.cluster import BaselineCluster
+from repro.config import BaselineConfig, ClusterConfig
+from repro.core.cluster import CalvinCluster
+from repro.core.metrics import RunReport
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+
+# Enough closed-loop clients per partition to saturate a node's workers
+# through the ~10 ms epoch latency.
+SATURATION_CLIENTS = 400
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Wall-clock/fidelity trade-off for experiments."""
+
+    name: str
+    warmup: float          # virtual seconds before the measurement window
+    duration: float        # virtual seconds measured
+    clients_per_partition: int
+    max_machines: int      # cap on cluster-size sweeps
+
+    @staticmethod
+    def get(name: str) -> "ScaleProfile":
+        try:
+            return _PROFILES[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scale {name!r}; use one of {sorted(_PROFILES)}"
+            ) from None
+
+
+_PROFILES = {
+    "smoke": ScaleProfile("smoke", warmup=0.12, duration=0.15, clients_per_partition=150, max_machines=4),
+    "quick": ScaleProfile("quick", warmup=0.2, duration=0.3, clients_per_partition=SATURATION_CLIENTS, max_machines=8),
+    "full": ScaleProfile("full", warmup=0.4, duration=1.0, clients_per_partition=SATURATION_CLIENTS, max_machines=16),
+}
+
+
+def run_calvin(
+    workload: Workload,
+    config: ClusterConfig,
+    profile: ScaleProfile,
+    clients_per_partition: Optional[int] = None,
+) -> RunReport:
+    """Build a Calvin cluster, saturate it, measure one window."""
+    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(clients_per_partition or profile.clients_per_partition)
+    return cluster.run(duration=profile.duration, warmup=profile.warmup)
+
+
+def run_baseline(
+    workload: Workload,
+    config: ClusterConfig,
+    profile: ScaleProfile,
+    baseline: Optional[BaselineConfig] = None,
+    clients_per_partition: Optional[int] = None,
+) -> RunReport:
+    """Same measurement against the System R*-style baseline."""
+    cluster = BaselineCluster(config, baseline=baseline, workload=workload)
+    cluster.load_workload_data()
+    cluster.add_clients(clients_per_partition or profile.clients_per_partition)
+    return cluster.run(duration=profile.duration, warmup=profile.warmup)
+
+
+def machine_sweep(profile: ScaleProfile, targets=(1, 2, 4, 8, 16)) -> list:
+    """Cluster sizes to sweep, clipped to the profile's cap."""
+    return [m for m in targets if m <= profile.max_machines]

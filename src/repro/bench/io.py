@@ -1,0 +1,78 @@
+"""Persistence for experiment results: JSON and CSV.
+
+The benchmark CLI writes every experiment's table to disk so runs can
+be archived, diffed and re-plotted without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.bench.reporting import ExperimentResult
+from repro.errors import ConfigError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A plain-data representation of an experiment result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "experiment": result.experiment,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict` (validates the envelope)."""
+    try:
+        if payload["format_version"] != _FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported result format version {payload['format_version']}"
+            )
+        result = ExperimentResult(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            notes=payload.get("notes", ""),
+        )
+        for row in payload["rows"]:
+            result.add_row(*row)
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed experiment result payload: {exc}") from exc
+    return result
+
+
+def save_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write a result to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> ExperimentResult:
+    """Read a result previously written by :func:`save_json`."""
+    with open(path) as handle:
+        return result_from_dict(json.load(handle))
+
+
+def save_csv(result: ExperimentResult, path: PathLike) -> Path:
+    """Write a result's table to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path

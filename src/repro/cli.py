@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments`` — list every reproducible experiment with its claim.
+- ``run <experiment> [--scale smoke|quick|full] [--seed N] [--json F]
+  [--csv F] [--chart]`` — regenerate one paper figure/claim and print
+  its table (optionally as ASCII bars / archived to disk).
+- ``compare <old.json> <new.json> [--threshold X]`` — diff two archived
+  runs and flag regressions (exit code 1 if any cell moved past the
+  threshold).
+- ``demo`` — a 30-second guided tour (tiny cluster, a few transactions,
+  a serializability check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.io import save_csv, save_json
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig5": "repro.bench.experiments.fig5_tpcc_scalability",
+    "fig6": "repro.bench.experiments.fig6_microbenchmark",
+    "fig7": "repro.bench.experiments.fig7_contention",
+    "fig8": "repro.bench.experiments.fig8_checkpointing",
+    "e5-disk": "repro.bench.experiments.e5_disk",
+    "e6-replication": "repro.bench.experiments.e6_replication",
+    "e7-recovery": "repro.bench.experiments.e7_recovery",
+    "e8-failover": "repro.bench.experiments.e8_failover",
+    "ablation-epoch": "repro.bench.experiments.ablation_epoch",
+    "ablation-workers": "repro.bench.experiments.ablation_workers",
+    "ablation-skew": "repro.bench.experiments.ablation_skew",
+    "ablation-lockmanager": "repro.bench.experiments.ablation_lockmanager",
+    "latency-breakdown": "repro.bench.experiments.latency_breakdown",
+    "ablation-fanout": "repro.bench.experiments.ablation_fanout",
+    "ollp-restarts": "repro.bench.experiments.ollp_restarts",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Calvin (SIGMOD 2012) reproduction — experiments and demos",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("experiments", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", default="quick", choices=("smoke", "quick", "full"))
+    run.add_argument("--seed", type=int, default=2012)
+    run.add_argument("--json", metavar="FILE", help="also write the table as JSON")
+    run.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
+    run.add_argument(
+        "--chart", action="store_true", help="render the table as ASCII bars"
+    )
+
+    sub.add_parser("demo", help="run a small guided demo")
+
+    compare = sub.add_parser(
+        "compare", help="diff two archived experiment JSONs for regressions"
+    )
+    compare.add_argument("old", help="baseline result JSON")
+    compare.add_argument("new", help="candidate result JSON")
+    compare.add_argument("--threshold", type=float, default=0.10,
+                         help="relative change flagged as regression (default 0.10)")
+    return parser
+
+
+def cmd_experiments() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        module = importlib.import_module(EXPERIMENTS[name])
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name.ljust(width)}  {summary}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = importlib.import_module(EXPERIMENTS[args.experiment])
+    result = module.run(scale=args.scale, seed=args.seed)
+    print(result)
+    if args.chart:
+        from repro.bench.charts import ascii_chart
+        from repro.errors import ConfigError
+
+        print()
+        try:
+            print(ascii_chart(result))
+        except ConfigError as exc:
+            print(f"(not chartable: {exc})")
+    if args.json:
+        print(f"wrote {save_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote {save_csv(result, args.csv)}")
+    return 0
+
+
+def cmd_demo() -> int:
+    from repro import CalvinDB
+
+    print("Building a 2-partition Calvin cluster...")
+    db = CalvinDB(num_partitions=2, seed=1)
+
+    @db.procedure("transfer")
+    def transfer(ctx):
+        src, dst, amount = ctx.args
+        balance = ctx.read(src) or 0
+        if balance < amount:
+            ctx.abort("insufficient funds")
+        ctx.write(src, balance - amount)
+        ctx.write(dst, (ctx.read(dst) or 0) + amount)
+
+    db.load({"alice": 100, "bob": 0})
+    result = db.execute(
+        "transfer", ("alice", "bob", 40),
+        read_set=["alice", "bob"], write_set=["alice", "bob"],
+    )
+    print(f"transfer committed in {result.latency * 1e3:.1f} ms of virtual time "
+          f"(one sequencing epoch + execution)")
+    print(f"alice={db.get('alice')}, bob={db.get('bob')}")
+    overdraft = db.execute(
+        "transfer", ("alice", "bob", 10_000),
+        read_set=["alice", "bob"], write_set=["alice", "bob"],
+    )
+    print(f"overdraft attempt: {overdraft.status.value} ({overdraft.value})")
+    print("Try `python -m repro experiments` for the paper's figures.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return cmd_experiments()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "demo":
+        return cmd_demo()
+    if args.command == "compare":
+        from repro.bench.compare import compare_files
+
+        comparison = compare_files(args.old, args.new, args.threshold)
+        print(comparison)
+        return 0 if comparison.ok else 1
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Cluster configuration and the calibrated cost model.
+
+The cost model is the bridge between the simulated cluster and the
+paper's hardware: it states how much *worker time* each primitive
+operation consumes and what the physical latencies are. It was
+calibrated once — so that a single simulated machine sustains roughly
+27 k single-partition microbenchmark transactions per second, the
+published order of magnitude — and is then held fixed across every
+experiment; no per-figure tuning.
+
+Times are in seconds of virtual time throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Worker-time and device-latency costs of primitive operations."""
+
+    # Per-transaction fixed worker cost (dispatch, context setup).
+    txn_base_cpu: float = 80e-6
+    # Per-record storage access costs (memory-resident tier).
+    read_cpu: float = 8e-6
+    write_cpu: float = 8e-6
+    # Lock-manager thread cost per lock request / release pair.
+    lock_request_cpu: float = 1.5e-6
+    # Extra worker cost on each participant of a multipartition
+    # transaction (building, serializing and parsing remote-read messages).
+    multipartition_overhead_cpu: float = 500e-6
+    # Worker cost of serving one incoming remote-read request.
+    remote_read_serve_cpu: float = 100e-6
+    # Sequencer cost per transaction (batch append, dispatch fan-out).
+    sequencer_cpu_per_txn: float = 6e-6
+    # Synchronous log force, used by the 2PC baseline at prepare/commit.
+    log_force_latency: float = 1e-3
+    # Simulated magnetic-disk access latency for cold records (Section 4).
+    disk_latency_mean: float = 10e-3
+    disk_latency_jitter: float = 2e-3
+    disk_parallelism: int = 8
+    # Checkpointing: worker cost to serialize one record into a checkpoint.
+    checkpoint_record_cpu: float = 1.2e-6
+
+    def validate(self) -> None:
+        for name in (
+            "txn_base_cpu",
+            "read_cpu",
+            "write_cpu",
+            "lock_request_cpu",
+            "multipartition_overhead_cpu",
+            "remote_read_serve_cpu",
+            "sequencer_cpu_per_txn",
+            "log_force_latency",
+            "disk_latency_mean",
+            "checkpoint_record_cpu",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"cost model field {name} must be >= 0")
+        if self.disk_parallelism < 1:
+            raise ConfigError("disk_parallelism must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and behaviour of a simulated cluster.
+
+    One *node* hosts one partition of one replica, exactly as in the
+    paper's deployment (Figure 1): every node runs a sequencer, a
+    scheduler, and a storage partition.
+    """
+
+    num_partitions: int = 4
+    num_replicas: int = 1
+    workers_per_node: int = 8
+    # Lock-manager threads per node. The paper uses one (requests are
+    # strictly serialized); sharding the lock table by key preserves
+    # determinism per key and lifts the admission ceiling — the
+    # optimization explored in the deterministic-DB follow-up work.
+    lock_manager_shards: int = 1
+    epoch_duration: float = 0.010  # the paper's 10 ms epoch
+    # "async" ships batches to peer replicas without waiting;
+    # "paxos" runs Multi-Paxos over the replica sites before dispatch;
+    # "none" disables replication (single-replica deployments).
+    replication_mode: str = "none"
+    # Unreplicated durability (paper Section 2): force each epoch's
+    # input batch to a local log device before dispatching it. Batches
+    # share group-commit flushes, so this costs ~1 log-force of latency
+    # and no throughput. Ignored when replication provides durability.
+    force_input_log: bool = False
+    # WAN one-way latency between replica sites when num_replicas > 1.
+    wan_latency: float = 0.05
+    lan_latency: float = 0.0005
+    lan_bandwidth: float = 125e6
+    wan_bandwidth: float = 12.5e6
+    seed: int = 2012
+    costs: CostModel = field(default_factory=CostModel)
+    # Disk-based storage (Section 4): if True, reads of cold keys go to
+    # the simulated disk and the sequencer defers disk-bound transactions
+    # by `disk_prefetch_delay` while issuing prefetch requests.
+    disk_enabled: bool = False
+    # Safety margin added on top of the (possibly erroneous) latency
+    # estimate when deferring a disk-bound transaction.
+    disk_prefetch_delay: float = 0.002
+    # Relative error applied to the sequencer's disk-latency estimate;
+    # 0.0 = perfect estimation (Section 4 sensitivity knob).
+    disk_estimate_error: float = 0.0
+    # Checkpointing mode: "none", "naive" (stop-the-world) or "zigzag".
+    checkpoint_mode: str = "none"
+
+    def validate(self) -> None:
+        if self.num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")
+        if self.num_replicas < 1:
+            raise ConfigError("num_replicas must be >= 1")
+        if self.workers_per_node < 1:
+            raise ConfigError("workers_per_node must be >= 1")
+        if self.lock_manager_shards < 1:
+            raise ConfigError("lock_manager_shards must be >= 1")
+        if self.epoch_duration <= 0:
+            raise ConfigError("epoch_duration must be positive")
+        if self.replication_mode not in ("none", "async", "paxos"):
+            raise ConfigError(f"unknown replication mode: {self.replication_mode!r}")
+        if self.replication_mode == "none" and self.num_replicas > 1:
+            raise ConfigError("multi-replica clusters need replication_mode async|paxos")
+        if self.replication_mode == "paxos" and self.num_replicas < 2:
+            raise ConfigError("paxos replication needs at least 2 replicas")
+        if self.checkpoint_mode not in ("none", "naive", "zigzag"):
+            raise ConfigError(f"unknown checkpoint mode: {self.checkpoint_mode!r}")
+        if not 0.0 <= self.disk_estimate_error <= 1.0:
+            raise ConfigError("disk_estimate_error must be in [0, 1]")
+        self.costs.validate()
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes across all replicas."""
+        return self.num_partitions * self.num_replicas
+
+    def with_changes(self, **changes) -> "ClusterConfig":
+        """A copy of this config with ``changes`` applied and validated."""
+        updated = replace(self, **changes)
+        updated.validate()
+        return updated
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Knobs specific to the System R*-style 2PL+2PC baseline."""
+
+    # Wait-die retry backoff after a deterministic abort.
+    retry_backoff: float = 0.002
+    max_retries: int = 50
+    # Whether participants force the prepare/commit records (true 2PC).
+    force_log_writes: bool = True
+
+    def validate(self) -> None:
+        if self.retry_backoff < 0:
+            raise ConfigError("retry_backoff must be >= 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+
+
+DEFAULT_CONFIG = ClusterConfig()

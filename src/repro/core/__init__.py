@@ -1,0 +1,26 @@
+"""Calvin core: node/cluster assembly, clients, metrics, checkers, facade."""
+
+from repro.core.api import CalvinDB
+from repro.core.checkers import (
+    check_conflict_order,
+    check_replica_consistency,
+    check_serializability,
+    reference_execution,
+)
+from repro.core.clients import ClosedLoopClient
+from repro.core.cluster import CalvinCluster
+from repro.core.metrics import Metrics, RunReport
+from repro.core.node import CalvinNode
+
+__all__ = [
+    "CalvinCluster",
+    "CalvinDB",
+    "CalvinNode",
+    "ClosedLoopClient",
+    "Metrics",
+    "RunReport",
+    "check_conflict_order",
+    "check_replica_consistency",
+    "check_serializability",
+    "reference_execution",
+]

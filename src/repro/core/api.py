@@ -1,0 +1,247 @@
+"""``CalvinDB`` — the friendly synchronous facade over a simulated cluster.
+
+For examples and small programs: register procedures, load data, execute
+transactions one at a time and get results back, while the full Calvin
+machinery (sequencer epochs, deterministic locking, remote reads,
+replication) runs underneath in virtual time.
+
+Example::
+
+    db = CalvinDB(num_partitions=2)
+
+    @db.procedure("transfer")
+    def transfer(ctx):
+        src, dst, amount = ctx.args
+        balance = ctx.read(src)
+        if balance < amount:
+            ctx.abort("insufficient funds")
+        ctx.write(src, balance - amount)
+        ctx.write(dst, ctx.read(dst) + amount)
+
+    db.load({"alice": 100, "bob": 50})
+    result = db.execute("transfer", ("alice", "bob", 30),
+                        read_set=["alice", "bob"], write_set=["alice", "bob"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.config import ClusterConfig
+from repro.core.cluster import CalvinCluster
+from repro.errors import ConfigError
+from repro.net.messages import ClientSubmit, TxnReply
+from repro.partition.catalog import NodeId, node_address
+from repro.partition.partitioner import HashPartitioner, Key, Partitioner
+from repro.sim.events import Event
+from repro.txn.ollp import reconnoiter
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.result import TransactionResult, TxnStatus
+from repro.txn.transaction import Transaction
+
+_DRIVER_ADDRESS = ("driver", 0, 0)
+_MAX_RESTARTS = 10
+
+
+class CalvinDB:
+    """A synchronous, single-caller view of a Calvin cluster."""
+
+    def __init__(
+        self,
+        num_partitions: int = 2,
+        num_replicas: int = 1,
+        replication_mode: str = "none",
+        seed: int = 2012,
+        config: Optional[ClusterConfig] = None,
+        partitioner: Optional[Partitioner] = None,
+        **config_overrides: Any,
+    ):
+        if config is None:
+            config = ClusterConfig(
+                num_partitions=num_partitions,
+                num_replicas=num_replicas,
+                replication_mode=replication_mode,
+                seed=seed,
+            )
+        if config_overrides:
+            config = config.with_changes(**config_overrides)
+        self.registry = ProcedureRegistry()
+        partitioner = partitioner or HashPartitioner(config.num_partitions)
+        self.cluster = CalvinCluster(
+            config, registry=self.registry, partitioner=partitioner
+        )
+        self.cluster.network.register(_DRIVER_ADDRESS, self._on_reply)
+        self._futures: Dict[int, Event] = {}
+
+    # -- schema / data ------------------------------------------------------
+
+    def procedure(
+        self,
+        name: str,
+        logic_cpu: float = 50e-6,
+        reconnoiter=None,
+        recheck=None,
+    ):
+        """Decorator registering a stored procedure on every node."""
+        return self.registry.define(
+            name, logic_cpu=logic_cpu, reconnoiter=reconnoiter, recheck=recheck
+        )
+
+    def load(self, data: Dict[Key, Any]) -> None:
+        """Bulk-load records (before or between transactions)."""
+        self.cluster.load(data)
+
+    def get(self, key: Key) -> Any:
+        """Direct snapshot read (outside any transaction)."""
+        return self.cluster.analytics_read(key)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        procedure: str,
+        args: Any = None,
+        read_set: Iterable[Key] = (),
+        write_set: Iterable[Key] = (),
+        origin_partition: Optional[int] = None,
+    ) -> TransactionResult:
+        """Run one transaction to completion and return its result.
+
+        Virtual time advances as needed (epoch wait, network hops,
+        execution); each call typically costs 10-20 ms of *virtual* time.
+        """
+        read_set, write_set = frozenset(read_set), frozenset(write_set)
+        if not read_set and not write_set:
+            raise ConfigError("execute needs a non-empty read or write set")
+        proc = self.registry.get(procedure)
+        if proc.is_dependent:
+            return self.execute_dependent(procedure, args, origin_partition)
+        return self._execute_once(
+            procedure, args, read_set, write_set, origin_partition,
+            dependent=False, token=None, restarts=0,
+        )
+
+    def execute_many(
+        self,
+        requests: Iterable[tuple],
+        origin_partition: Optional[int] = None,
+    ) -> list:
+        """Submit many transactions concurrently; wait for all results.
+
+        ``requests`` is an iterable of ``(procedure, args, read_set,
+        write_set)`` tuples. All are submitted at once, so they pipeline
+        through the same sequencing epochs — N independent transactions
+        cost roughly one epoch, not N. Results come back in request
+        order. Dependent procedures are not supported here (their
+        reconnaissance is inherently sequential); use
+        :meth:`execute_dependent`.
+        """
+        cluster = self.cluster
+        cluster.start()
+        futures = []
+        for procedure, args, read_set, write_set in requests:
+            if self.registry.get(procedure).is_dependent:
+                raise ConfigError(
+                    "execute_many does not support dependent procedures"
+                )
+            read_set, write_set = frozenset(read_set), frozenset(write_set)
+            all_keys = read_set | write_set
+            if not all_keys:
+                raise ConfigError("transaction needs a non-empty footprint")
+            origin = origin_partition
+            if origin is None:
+                origin = min(cluster.catalog.partitions_of(all_keys))
+            txn = Transaction.create(
+                txn_id=cluster.next_txn_id(),
+                procedure=procedure,
+                args=args,
+                read_set=read_set,
+                write_set=write_set,
+                origin_partition=origin,
+                client=_DRIVER_ADDRESS,
+                submit_time=cluster.sim.now,
+            )
+            future = Event(cluster.sim)
+            self._futures[txn.txn_id] = future
+            message = ClientSubmit(txn)
+            cluster.network.send(
+                _DRIVER_ADDRESS,
+                node_address(NodeId(0, origin)),
+                message,
+                message.size_estimate(),
+            )
+            futures.append(future)
+        return [cluster.sim.run_until_triggered(future) for future in futures]
+
+    def execute_dependent(
+        self,
+        procedure: str,
+        args: Any = None,
+        origin_partition: Optional[int] = None,
+    ) -> TransactionResult:
+        """Run a dependent transaction through the full OLLP loop."""
+        proc = self.registry.get(procedure)
+        if not proc.is_dependent:
+            raise ConfigError(f"procedure {procedure!r} is not dependent")
+        restarts = 0
+        while True:
+            footprint = reconnoiter(proc, self.cluster.analytics_read, args)
+            result = self._execute_once(
+                procedure, args, footprint.read_set, footprint.write_set,
+                origin_partition, dependent=True, token=footprint.token,
+                restarts=restarts,
+            )
+            if result.status is not TxnStatus.RESTART:
+                return result
+            restarts += 1
+            if restarts > _MAX_RESTARTS:
+                return result
+
+    def _execute_once(
+        self, procedure, args, read_set, write_set, origin_partition,
+        dependent, token, restarts,
+    ) -> TransactionResult:
+        cluster = self.cluster
+        cluster.start()
+        all_keys = read_set | write_set
+        if origin_partition is None:
+            origin_partition = min(cluster.catalog.partitions_of(all_keys))
+        txn = Transaction.create(
+            txn_id=cluster.next_txn_id(),
+            procedure=procedure,
+            args=args,
+            read_set=read_set,
+            write_set=write_set,
+            origin_partition=origin_partition,
+            client=_DRIVER_ADDRESS,
+            dependent=dependent,
+            footprint_token=token,
+            submit_time=cluster.sim.now,
+            restarts=restarts,
+        )
+        future = Event(cluster.sim)
+        self._futures[txn.txn_id] = future
+        message = ClientSubmit(txn)
+        cluster.network.send(
+            _DRIVER_ADDRESS,
+            node_address(NodeId(0, origin_partition)),
+            message,
+            message.size_estimate(),
+        )
+        return cluster.sim.run_until_triggered(future)
+
+    def _on_reply(self, src: Any, message: Any) -> None:
+        assert isinstance(message, TxnReply)
+        future = self._futures.pop(message.result.txn_id, None)
+        if future is not None:
+            future.succeed(message.result)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.cluster.sim.now
+
+    def final_state(self) -> Dict[Key, Any]:
+        return self.cluster.final_state()

@@ -1,0 +1,179 @@
+"""Correctness checkers: replica consistency and serializability.
+
+Calvin's guarantees are checkable end-to-end in this reproduction
+because transactions execute real logic on real stores:
+
+- **Replica consistency** — all replicas fed the same input log must
+  hold byte-identical partition states (determinism).
+- **Serializability / determinism** — re-executing the committed history
+  serially, in the agreed global order, on a single reference store must
+  yield (a) the same per-transaction outcome the cluster reported and
+  (b) exactly the cluster's final state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConsistencyError, TransactionAborted
+from repro.partition.partitioner import Key
+from repro.txn.context import DELETED, TxnContext
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.result import TxnStatus
+from repro.txn.transaction import Transaction
+
+
+def check_replica_consistency(cluster) -> None:
+    """Raise :class:`ConsistencyError` unless all replicas' stores match."""
+    fingerprints = cluster.replica_fingerprints()
+    reference = fingerprints[0]
+    for replica, prints in fingerprints.items():
+        if prints != reference:
+            diverged = [
+                partition
+                for partition, (a, b) in enumerate(zip(reference, prints))
+                if a != b
+            ]
+            raise ConsistencyError(
+                f"replica {replica} diverged from replica 0 on partitions "
+                f"{diverged}"
+            )
+
+
+def reference_execution(
+    initial_data: Dict[Key, Any],
+    history: List[Tuple[Any, Transaction, TxnStatus]],
+    registry: ProcedureRegistry,
+) -> Tuple[Dict[Key, Any], List[TxnStatus]]:
+    """Serially execute ``history`` (sorted by sequence) on one store.
+
+    Returns the reference final state and the per-transaction statuses
+    the serial execution produced.
+    """
+    store: Dict[Key, Any] = dict(initial_data)
+    statuses: List[TxnStatus] = []
+    for _seq, txn, _reported in sorted(history, key=lambda entry: entry[0]):
+        procedure = registry.get(txn.procedure)
+        reads = {key: store[key] for key in txn.read_set if key in store}
+        context = TxnContext(txn, reads)
+        if (
+            txn.dependent
+            and procedure.recheck is not None
+            and not procedure.recheck(context)
+        ):
+            statuses.append(TxnStatus.RESTART)
+            continue
+        try:
+            procedure.logic(context)
+            status = TxnStatus.COMMITTED
+        except TransactionAborted:
+            status = TxnStatus.ABORTED
+            context.writes.clear()
+        statuses.append(status)
+        if status is TxnStatus.COMMITTED:
+            for key, value in context.writes.items():
+                if value is DELETED:
+                    store.pop(key, None)
+                else:
+                    store[key] = value
+    return store, statuses
+
+
+def check_conflict_order(cluster) -> int:
+    """Independent serializability evidence from execution traces.
+
+    Each replica-0 scheduler records the order in which transactions
+    actually *finished* on its partition. Deterministic locking promises
+    that conflicting transactions finish in global sequence order on
+    every partition they share: a later-sequenced writer cannot finish
+    before any earlier toucher of the key, and a later-sequenced reader
+    cannot finish before an earlier writer. This check walks each
+    partition's trace and verifies exactly that — no re-execution, so it
+    is independent of :func:`check_serializability`. Returns the number
+    of trace entries verified.
+
+    Requires ``record_history=True`` (traces ride along with history).
+    """
+    txn_by_seq = {seq: txn for seq, txn, _status in cluster.history}
+    verified = 0
+    for partition in range(cluster.config.num_partitions):
+        scheduler = cluster.node(0, partition).scheduler
+        trace = scheduler.execution_trace
+        if trace is None:
+            raise ConsistencyError(
+                "execution traces are off; build the cluster with "
+                "record_history=True"
+            )
+        partition_of = cluster.catalog.partition_of
+        max_touch: Dict[Key, Any] = {}
+        max_write: Dict[Key, Any] = {}
+        for seq in trace:
+            txn = txn_by_seq.get(seq)
+            if txn is None:
+                # Executed on this partition but replied elsewhere before
+                # history recording began (warm-up); skip footprint lookup.
+                continue
+            for key in txn.write_set:
+                if partition_of(key) != partition:
+                    continue
+                prior = max_touch.get(key)
+                if prior is not None and prior > seq:
+                    raise ConsistencyError(
+                        f"partition {partition}: writer {seq} finished after "
+                        f"conflicting {prior} on {key!r} despite earlier order"
+                    )
+            read_only = txn.read_set - txn.write_set
+            for key in read_only:
+                if partition_of(key) != partition:
+                    continue
+                prior = max_write.get(key)
+                if prior is not None and prior > seq:
+                    raise ConsistencyError(
+                        f"partition {partition}: reader {seq} finished after "
+                        f"conflicting writer {prior} on {key!r}"
+                    )
+            for key in txn.write_set:
+                if partition_of(key) == partition:
+                    max_touch[key] = max(max_touch.get(key, seq), seq)
+                    max_write[key] = max(max_write.get(key, seq), seq)
+            for key in read_only:
+                if partition_of(key) == partition:
+                    max_touch[key] = max(max_touch.get(key, seq), seq)
+            verified += 1
+    return verified
+
+
+def check_serializability(cluster) -> int:
+    """Verify the cluster behaved as a serial execution of its history.
+
+    Returns the number of transactions checked. Requires the cluster to
+    have been built with ``record_history=True``.
+    """
+    history = cluster.sorted_history()
+    reference_state, reference_statuses = reference_execution(
+        cluster.initial_data, history, cluster.registry
+    )
+    reported_statuses = [status for _seq, _txn, status in history]
+    if reference_statuses != reported_statuses:
+        for index, (ref, got) in enumerate(zip(reference_statuses, reported_statuses)):
+            if ref != got:
+                seq, txn, _ = history[index]
+                raise ConsistencyError(
+                    f"outcome mismatch at seq {seq} ({txn.procedure}): "
+                    f"serial reference says {ref}, cluster reported {got}"
+                )
+    cluster_state = cluster.final_state(replica=0)
+    if cluster_state != reference_state:
+        missing = reference_state.keys() - cluster_state.keys()
+        extra = cluster_state.keys() - reference_state.keys()
+        differing = [
+            key
+            for key in reference_state.keys() & cluster_state.keys()
+            if reference_state[key] != cluster_state[key]
+        ]
+        raise ConsistencyError(
+            "final state differs from serial reference: "
+            f"{len(missing)} missing, {len(extra)} extra, "
+            f"{len(differing)} differing (e.g. {sorted(map(repr, differing))[:3]})"
+        )
+    return len(history)

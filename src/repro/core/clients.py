@@ -1,0 +1,134 @@
+"""Closed-loop benchmark clients.
+
+Each client keeps exactly one transaction outstanding against its local
+node (replica 0), matching how the paper saturates the system. Dependent
+transactions go through OLLP reconnaissance before submission and are
+re-reconnoitered and resubmitted when the execution-time recheck reports
+a stale footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.net.messages import ClientSubmit, TxnReply
+from repro.partition.catalog import client_address, node_address, NodeId
+from repro.txn.ollp import reconnoiter
+from repro.txn.result import TxnStatus
+from repro.txn.transaction import Transaction
+from repro.workloads.base import TxnSpec, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cluster import CalvinCluster
+
+_MAX_OLLP_RESTARTS = 10
+
+
+class ClosedLoopClient:
+    """One outstanding transaction at a time, zero think time by default."""
+
+    def __init__(
+        self,
+        cluster: "CalvinCluster",
+        partition: int,
+        index: int,
+        workload: Workload,
+        think_time: float = 0.0,
+        max_txns: Optional[int] = None,
+        retry_backoff: float = 0.0,
+        max_restarts: int = _MAX_OLLP_RESTARTS,
+    ):
+        self.cluster = cluster
+        self.partition = partition
+        self.workload = workload
+        self.think_time = think_time
+        self.max_txns = max_txns
+        self.retry_backoff = retry_backoff
+        self.max_restarts = max_restarts
+        self.address = client_address(0, index)
+        self.rng = cluster.rngs.stream("client", index)
+        self._target = node_address(NodeId(0, partition))
+        self._inflight: Optional[TxnSpec] = None
+        self._restarts = 0
+        self.submitted = 0
+        self.completed = 0
+        cluster.network.register(self.address, self._on_message)
+
+    def start(self) -> None:
+        self._submit_new()
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is outstanding and no resubmission is due."""
+        return self._inflight is None and self.finished
+
+    @property
+    def finished(self) -> bool:
+        return self.max_txns is not None and self.completed >= self.max_txns
+
+    # -- submission ---------------------------------------------------------
+
+    def _submit_new(self) -> None:
+        if self.finished:
+            return
+        spec = self.workload.generate(self.rng, self.partition, self.cluster.catalog)
+        self._restarts = 0
+        self._submit(spec)
+
+    def _submit(self, spec: TxnSpec) -> None:
+        cluster = self.cluster
+        read_set, write_set, token = spec.read_set, spec.write_set, None
+        if spec.dependent:
+            procedure = cluster.registry.get(spec.procedure)
+            footprint = reconnoiter(procedure, cluster.analytics_read, spec.args)
+            read_set = spec.read_set | footprint.read_set
+            write_set = spec.write_set | footprint.write_set
+            token = footprint.token
+        txn = Transaction.create(
+            txn_id=cluster.next_txn_id(),
+            procedure=spec.procedure,
+            args=spec.args,
+            read_set=read_set,
+            write_set=write_set,
+            origin_partition=self.partition,
+            client=self.address,
+            dependent=spec.dependent,
+            footprint_token=token,
+            submit_time=cluster.sim.now,
+            restarts=self._restarts,
+        )
+        self._inflight = spec
+        self.submitted += 1
+        message = ClientSubmit(txn)
+        cluster.network.send(self.address, self._target, message, message.size_estimate())
+
+    # -- replies --------------------------------------------------------------
+
+    def _on_message(self, src: Any, message: Any) -> None:
+        assert isinstance(message, TxnReply), f"client got {message!r}"
+        result = message.result
+        cluster = self.cluster
+        now = cluster.sim.now
+        if now >= cluster.metrics.window_start:
+            cluster.metrics.record_latency(result.latency)
+        spec = self._inflight
+        self._inflight = None
+        self.completed += 1
+
+        if (
+            result.status is TxnStatus.RESTART
+            and spec is not None
+            and self._restarts < self.max_restarts
+        ):
+            # Stale OLLP footprint (Calvin) or wait-die death (baseline):
+            # resubmit, optionally after a backoff.
+            self._restarts += 1
+            if self.retry_backoff > 0:
+                cluster.sim.schedule(self.retry_backoff, self._submit, spec)
+            else:
+                self._submit(spec)
+            return
+        if self.think_time > 0:
+            cluster.sim.schedule(self.think_time, self._submit_new)
+        else:
+            self._submit_new()

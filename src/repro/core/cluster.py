@@ -1,0 +1,393 @@
+"""Cluster orchestration: build, load, drive, checkpoint, replay.
+
+:class:`CalvinCluster` owns the simulator, the network, all nodes and
+clients, the metrics, and the committed-transaction history that the
+correctness checkers consume. It is the main entry point for benchmarks;
+examples usually go through the friendlier :class:`repro.core.api.CalvinDB`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import ClusterConfig
+from repro.core.clients import ClosedLoopClient
+from repro.core.metrics import Metrics, RunReport
+from repro.core.node import CalvinNode
+from repro.errors import ConfigError, RecoveryError
+from repro.partition.catalog import Catalog, NodeId
+from repro.partition.partitioner import Key, Partitioner
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, lan_topology, wan_topology
+from repro.sim.rng import RngStreams
+from repro.storage.checkpoint import CheckpointSnapshot
+from repro.storage.inputlog import LogEntry
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.result import TxnStatus
+from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
+from repro.workloads.base import Workload
+
+# (seq, txn, status) per terminal execution, in arbitrary append order;
+# sort by seq to obtain the agreed serial history.
+HistoryEntry = Tuple[GlobalSeq, Transaction, TxnStatus]
+
+
+class CalvinCluster:
+    """A fully assembled simulated Calvin deployment."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        workload: Optional[Workload] = None,
+        registry: Optional[ProcedureRegistry] = None,
+        partitioner: Optional[Partitioner] = None,
+        record_history: bool = True,
+    ):
+        config.validate()
+        self.config = config
+        self.workload = workload
+
+        if workload is not None:
+            if registry is None:
+                registry = ProcedureRegistry()
+                workload.register(registry)
+            if partitioner is None:
+                partitioner = workload.build_partitioner(config.num_partitions)
+        if registry is None or partitioner is None:
+            raise ConfigError("cluster needs a workload, or registry + partitioner")
+        self.registry = registry
+        self.catalog = Catalog(config, partitioner)
+
+        self.sim = Simulator()
+        self.rngs = RngStreams(config.seed)
+        self.network = Network(self.sim, self._build_topology())
+        self.metrics = Metrics()
+        self.record_history = record_history
+        self.history: List[HistoryEntry] = []
+
+        cold = None
+        if config.disk_enabled and workload is not None:
+            cold = workload.cold_predicate()
+
+        self.nodes: Dict[NodeId, CalvinNode] = {}
+        for node_id in self.catalog.nodes():
+            on_complete = self._completion_hook if node_id.replica == 0 else None
+            self.nodes[node_id] = CalvinNode(
+                self.sim,
+                self.network,
+                node_id,
+                self.catalog,
+                config,
+                self.registry,
+                self.rngs,
+                cold_predicate=cold,
+                on_complete=on_complete,
+                record_trace=record_history and node_id.replica == 0,
+            )
+
+        self.clients: List[ClosedLoopClient] = []
+        self.checkpoints: Dict[int, CheckpointSnapshot] = {}
+        self._txn_counter = 0
+        self._started = False
+        self._initial_data: Dict[Key, Any] = {}
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_topology(self):
+        config = self.config
+        if config.num_replicas > 1:
+            topology = wan_topology(
+                lan_latency=config.lan_latency,
+                wan_latency=config.wan_latency,
+                lan_bandwidth=config.lan_bandwidth,
+                wan_bandwidth=config.wan_bandwidth,
+            )
+        else:
+            topology = lan_topology(config.lan_latency, config.lan_bandwidth)
+        for replica in range(config.num_replicas):
+            for partition in range(config.num_partitions):
+                topology.place(("node", replica, partition), site=replica)
+        # Clients sit in the input replica's datacenter (site 0, the default).
+        return topology
+
+    def _completion_hook(self, stxn: SequencedTxn, result) -> None:
+        self.metrics.record_completion(stxn.txn.procedure, result, self.sim.now)
+        if self.record_history:
+            self.history.append((stxn.seq, stxn.txn, result.status))
+
+    # -- basic accessors ---------------------------------------------------------
+
+    def node(self, replica: int, partition: int) -> CalvinNode:
+        return self.nodes[NodeId(replica, partition)]
+
+    def next_txn_id(self) -> int:
+        self._txn_counter += 1
+        return self._txn_counter
+
+    def analytics_read(self, key: Key) -> Any:
+        """Unsequenced snapshot read (OLLP reconnaissance path)."""
+        partition = self.catalog.partition_of(key)
+        return self.node(0, partition).store.get(key)
+
+    # -- data loading -----------------------------------------------------------
+
+    def load(self, data: Dict[Key, Any]) -> None:
+        """Bulk-load initial records into every replica."""
+        per_partition: Dict[int, Dict[Key, Any]] = {}
+        for key, value in data.items():
+            per_partition.setdefault(self.catalog.partition_of(key), {})[key] = value
+        for partition, chunk in per_partition.items():
+            for replica in range(self.config.num_replicas):
+                self.node(replica, partition).store.load_bulk(chunk)
+        self._initial_data.update(data)
+
+    def load_workload_data(self) -> None:
+        """Load ``workload.initial_data`` (requires a workload)."""
+        if self.workload is None:
+            raise ConfigError("cluster has no workload to load data from")
+        self.load(self.workload.initial_data(self.catalog))
+
+    @property
+    def initial_data(self) -> Dict[Key, Any]:
+        return dict(self._initial_data)
+
+    # -- running ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def add_clients(
+        self,
+        per_partition: int,
+        workload: Optional[Workload] = None,
+        think_time: float = 0.0,
+        max_txns: Optional[int] = None,
+    ) -> List[ClosedLoopClient]:
+        workload = workload or self.workload
+        if workload is None:
+            raise ConfigError("no workload for clients")
+        created = []
+        for partition in range(self.config.num_partitions):
+            for _ in range(per_partition):
+                client = ClosedLoopClient(
+                    self, partition, len(self.clients), workload, think_time, max_txns
+                )
+                self.clients.append(client)
+                created.append(client)
+        return created
+
+    def quiesce(self, timeout: float = 300.0, step: float = 0.05) -> None:
+        """Run until all clients are done and all in-flight work drained.
+
+        Only meaningful with ``max_txns``-bounded clients; raises
+        :class:`ConfigError` on unbounded ones (they never finish).
+        """
+        if any(client.max_txns is None for client in self.clients):
+            raise ConfigError("quiesce requires max_txns-bounded clients")
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            self.sim.run(until=self.sim.now + step)
+            clients_idle = all(client.idle for client in self.clients)
+            nodes_idle = all(
+                node.scheduler.outstanding == 0
+                and node.scheduler.admission_backlog == 0
+                and not node.sequencer._buffer
+                and not any(
+                    batch.txns
+                    for per_epoch in node.scheduler._arrived.values()
+                    for batch in per_epoch.values()
+                )
+                for node in self.nodes.values()
+            )
+            # Peer replicas must have re-executed everything replica 0
+            # finished (batches may still be crossing the WAN).
+            replicas_aligned = all(
+                self.node(replica, partition).scheduler.completed
+                == self.node(0, partition).scheduler.completed
+                for replica in range(1, self.config.num_replicas)
+                for partition in range(self.config.num_partitions)
+            )
+            if clients_idle and nodes_idle and replicas_aligned:
+                return
+        raise ConfigError(f"cluster failed to quiesce within {timeout}s")
+
+    def run(self, duration: float, warmup: float = 0.0) -> RunReport:
+        """Start everything, warm up, measure for ``duration``; report."""
+        self.start()
+        for client in self.clients:
+            if client.submitted == 0:
+                client.start()
+        if warmup > 0:
+            self.sim.run(until=self.sim.now + warmup)
+        self.metrics.begin_window(self.sim.now)
+        self.sim.run(until=self.sim.now + duration)
+        return self.metrics.report(self.sim.now)
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Drain the event queue completely (replay clusters: no epoch
+        ticking, so the queue empties when all injected work is done)."""
+        self.sim.run(max_events=max_events)
+        for node in self.nodes.values():
+            scheduler = node.scheduler
+            if scheduler.outstanding or scheduler.admission_backlog:
+                raise RecoveryError(
+                    f"replay stalled at {node.node_id}: "
+                    f"{scheduler.outstanding} running, "
+                    f"{scheduler.admission_backlog} queued"
+                )
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def schedule_checkpoint(self, at_time: float, mode: Optional[str] = None) -> Event:
+        """Checkpoint replica 0 at the first epoch boundary after ``at_time``.
+
+        Returns an event triggering with the list of per-partition
+        snapshots (also stored in :attr:`checkpoints`).
+        """
+        mode = mode or self.config.checkpoint_mode
+        if mode not in ("naive", "zigzag"):
+            raise ConfigError(f"cannot checkpoint with mode {mode!r}")
+        done = Event(self.sim)
+        self.sim.schedule_at(at_time, self._start_checkpoint, mode, done)
+        return done
+
+    def _start_checkpoint(self, mode: str, done: Event) -> None:
+        replica_nodes = [self.node(0, p) for p in range(self.config.num_partitions)]
+        # A safe epoch boundary strictly in the future of every scheduler.
+        epoch = max(n.scheduler._next_epoch for n in replica_nodes) + 2
+        events = [node.begin_checkpoint(mode, epoch) for node in replica_nodes]
+        combined = self.sim.all_of(events)
+
+        def record(event: Event) -> None:
+            snapshots = event.value
+            for snapshot in snapshots:
+                self.checkpoints[snapshot.partition] = snapshot
+            done.succeed(snapshots)
+
+        combined.add_callback(record)
+
+    # -- failures -------------------------------------------------------------------
+
+    def crash_node(self, replica: int, partition: int) -> None:
+        """Silence a node: its address is unregistered, so all traffic to
+        it is dropped (and it sends nothing — its timers fire into a dead
+        component whose sends are suppressed by the network layer only on
+        receive; we also mark it crashed so peers' views are realistic).
+
+        With Paxos input replication, a crashed *non-input* replica node
+        costs nothing: agreement needs only a majority, and surviving
+        replicas keep executing the agreed log — the paper's
+        no-single-point-of-failure claim, exercised by experiment E8.
+        """
+        node = self.node(replica, partition)
+        self.network.unregister(node.address)
+        node.crashed = True
+
+    def snapshot_read(self, key: Key, replica: int = 0) -> Any:
+        """A low-consistency read served by any replica (possibly stale —
+        the "multiple consistency levels" the abstract mentions)."""
+        partition = self.catalog.partition_of(key)
+        return self.node(replica, partition).store.get(key)
+
+    def node_stats(self) -> Dict[NodeId, Dict[str, float]]:
+        """Per-node health numbers for debugging and tests."""
+        now = self.sim.now
+        stats = {}
+        for node_id, node in self.nodes.items():
+            scheduler = node.scheduler
+            stats[node_id] = {
+                "admitted": scheduler.admitted,
+                "completed": scheduler.completed,
+                "outstanding": scheduler.outstanding,
+                "worker_utilization": scheduler.workers.utilization(now) if now else 0.0,
+                "lock_grants": scheduler.locks.grants,
+                "immediate_grant_fraction": (
+                    scheduler.locks.immediate_grants / scheduler.locks.grants
+                    if scheduler.locks.grants
+                    else 1.0
+                ),
+                "sequenced": node.sequencer.txns_sequenced,
+                "deferred": node.sequencer.txns_deferred,
+            }
+        return stats
+
+    # -- state inspection ---------------------------------------------------------
+
+    def replica_fingerprints(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-replica tuple of partition-store fingerprints."""
+        return {
+            replica: tuple(
+                self.node(replica, p).store.fingerprint()
+                for p in range(self.config.num_partitions)
+            )
+            for replica in range(self.config.num_replicas)
+        }
+
+    def final_state(self, replica: int = 0) -> Dict[Key, Any]:
+        """Union of all partition stores of one replica."""
+        state: Dict[Key, Any] = {}
+        for partition in range(self.config.num_partitions):
+            state.update(self.node(replica, partition).store.snapshot())
+        return state
+
+    def merged_log(self, replica: int = 0) -> List[LogEntry]:
+        """The replica's input log, merged across nodes, in global order."""
+        entries: List[LogEntry] = []
+        for partition in range(self.config.num_partitions):
+            entries.extend(self.node(replica, partition).input_log)
+        entries.sort()
+        return entries
+
+    def sorted_history(self) -> List[HistoryEntry]:
+        return sorted(self.history, key=lambda entry: entry[0])
+
+    # -- recovery / deterministic replay ----------------------------------------------
+
+    @classmethod
+    def replay(
+        cls,
+        config: ClusterConfig,
+        registry: ProcedureRegistry,
+        partitioner: Partitioner,
+        initial_data: Dict[Key, Any],
+        entries: Iterable[LogEntry],
+        start_epoch: int = 0,
+    ) -> "CalvinCluster":
+        """Rebuild state by deterministic replay of an input log.
+
+        ``initial_data`` is either the original load (full replay) or a
+        checkpoint image (recovery), in which case ``start_epoch`` is the
+        checkpoint's epoch watermark.
+        """
+        replay_config = config.with_changes(
+            num_replicas=1,
+            replication_mode="none",
+            disk_enabled=False,
+            checkpoint_mode="none",
+        )
+        cluster = cls(
+            replay_config,
+            registry=registry,
+            partitioner=partitioner,
+            record_history=False,
+        )
+        cluster.load(initial_data)
+        for partition in range(replay_config.num_partitions):
+            cluster.node(0, partition).scheduler.fast_forward(start_epoch)
+
+        ordered = sorted(entries)
+        if ordered and ordered[0].epoch < start_epoch:
+            raise RecoveryError(
+                f"log entry epoch {ordered[0].epoch} precedes checkpoint "
+                f"epoch {start_epoch}"
+            )
+        for entry in ordered:
+            node = cluster.node(0, entry.origin_partition)
+            node.sequencer.dispatch(entry.epoch, entry.txns)
+        cluster.run_until_idle()
+        return cluster

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the Calvin reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the library boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an internal fault."""
+
+
+class NetworkError(ReproError):
+    """A message was addressed to an unknown node or malformed."""
+
+
+class StorageError(ReproError):
+    """A storage-engine level failure (unknown key space, bad checkpoint...)."""
+
+
+class KeyNotFound(StorageError):
+    """A read referenced a key that does not exist in the store."""
+
+
+class FootprintViolation(ReproError):
+    """Transaction logic touched a key outside its declared read/write set.
+
+    Calvin requires read/write sets to be declared (or discovered via
+    OLLP reconnaissance) before sequencing; executing outside the
+    declared footprint would break determinism, so it is a hard error.
+    """
+
+
+class TransactionAborted(ReproError):
+    """Raised inside transaction logic to signal a deterministic abort.
+
+    In Calvin only *logic-induced* aborts exist (e.g. TPC-C New Order's
+    1% invalid-item rollback); there are no deadlock or nondeterministic
+    aborts. The baseline 2PC system additionally aborts on wait-die
+    conflicts, reusing this type with ``reason``.
+    """
+
+    def __init__(self, reason: str = "aborted by transaction logic"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SchedulerError(ReproError):
+    """Deterministic-scheduler invariant violation (a bug, not a workload error)."""
+
+
+class PaxosError(ReproError):
+    """Paxos protocol invariant violation."""
+
+
+class RecoveryError(ReproError):
+    """Recovery could not reconstruct a consistent state."""
+
+
+class ConsistencyError(ReproError):
+    """A correctness checker found divergent replicas or a
+    non-serializable outcome."""

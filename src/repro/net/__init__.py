@@ -1,0 +1,24 @@
+"""Typed messages exchanged between cluster components.
+
+The actual transport lives in :mod:`repro.sim.network`; this package
+defines the protocol vocabulary of the Calvin layer. Paxos and baseline
+(2PC) messages live next to their protocols.
+"""
+
+from repro.net.messages import (
+    ClientSubmit,
+    PrefetchRequest,
+    RemoteRead,
+    ReplicaBatch,
+    SubBatch,
+    TxnReply,
+)
+
+__all__ = [
+    "ClientSubmit",
+    "PrefetchRequest",
+    "RemoteRead",
+    "ReplicaBatch",
+    "SubBatch",
+    "TxnReply",
+]

@@ -1,0 +1,97 @@
+"""Calvin-layer message types.
+
+All messages are immutable dataclasses. ``size_estimate`` feeds the
+network bandwidth model; the constants approximate the paper's
+serialized request/record sizes rather than Python object sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.partition.partitioner import Key
+from repro.txn.result import TransactionResult
+from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
+
+_TXN_WIRE_SIZE = 256      # bytes per serialized transaction request
+_RECORD_WIRE_SIZE = 120   # bytes per key/value pair in a remote read
+_HEADER_SIZE = 64
+
+
+@dataclass(frozen=True)
+class ClientSubmit:
+    """Client → sequencer: a new transaction request."""
+
+    txn: Transaction
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _TXN_WIRE_SIZE
+
+
+@dataclass(frozen=True)
+class ReplicaBatch:
+    """Sequencer → peer-replica sequencer (async replication mode)."""
+
+    epoch: int
+    origin_partition: int
+    txns: Tuple[Transaction, ...]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _TXN_WIRE_SIZE * len(self.txns)
+
+
+@dataclass(frozen=True)
+class SubBatch:
+    """Sequencer → scheduler (same replica): this partition's view of a batch.
+
+    Transactions arrive already bound to their global sequence number
+    (epoch, origin, index-within-origin-batch). One SubBatch is sent to
+    *every* scheduler each epoch, possibly with zero transactions —
+    schedulers use the full set of sub-batches as the epoch barrier, so
+    emptiness is information.
+    """
+
+    epoch: int
+    origin_partition: int
+    txns: Tuple[SequencedTxn, ...]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _TXN_WIRE_SIZE * len(self.txns)
+
+
+@dataclass(frozen=True)
+class RemoteRead:
+    """Participant → active participant: local read results for one txn."""
+
+    seq: GlobalSeq
+    from_partition: int
+    values: Dict[Key, Any]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _RECORD_WIRE_SIZE * max(1, len(self.values))
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """Sequencer → storage node: warm these cold keys up (Section 4).
+
+    Sent as soon as a disk-bound transaction arrives, while the
+    transaction itself is artificially deferred by the expected fetch
+    latency, so that by execution time the data is memory resident.
+    """
+
+    keys: Tuple[Key, ...]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + 24 * max(1, len(self.keys))
+
+
+@dataclass(frozen=True)
+class TxnReply:
+    """Reply partition → client: terminal result of one attempt."""
+
+    result: TransactionResult
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + 64

@@ -1,0 +1,75 @@
+"""Cluster catalog: node identity, addressing and layout.
+
+A node is identified by ``NodeId(replica, partition)``. Network
+addresses are small tuples so they stay hashable and debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.partition.partitioner import Key, Partitioner
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """Identity of one node: which replica it belongs to, which partition it hosts."""
+
+    replica: int
+    partition: int
+
+
+def node_address(node: NodeId) -> Tuple[str, int, int]:
+    """Network address of a node."""
+    return ("node", node.replica, node.partition)
+
+
+def client_address(replica: int, client_index: int) -> Tuple[str, int, int]:
+    """Network address of a client."""
+    return ("client", replica, client_index)
+
+
+class Catalog:
+    """Owns cluster layout: replicas × partitions, plus the partitioner."""
+
+    def __init__(self, config: ClusterConfig, partitioner: Partitioner):
+        config.validate()
+        if partitioner.num_partitions != config.num_partitions:
+            raise ConfigError(
+                "partitioner partition count "
+                f"({partitioner.num_partitions}) does not match config "
+                f"({config.num_partitions})"
+            )
+        self.config = config
+        self.partitioner = partitioner
+
+    @property
+    def num_partitions(self) -> int:
+        return self.config.num_partitions
+
+    @property
+    def num_replicas(self) -> int:
+        return self.config.num_replicas
+
+    def nodes(self) -> Iterator[NodeId]:
+        """All nodes, replica-major (replica 0 first)."""
+        for replica in range(self.num_replicas):
+            for partition in range(self.num_partitions):
+                yield NodeId(replica, partition)
+
+    def nodes_of_replica(self, replica: int) -> List[NodeId]:
+        return [NodeId(replica, p) for p in range(self.num_partitions)]
+
+    def replicas_of_partition(self, partition: int) -> List[NodeId]:
+        """The same partition across every replica (a Paxos group)."""
+        return [NodeId(r, partition) for r in range(self.num_replicas)]
+
+    def partition_of(self, key: Key) -> int:
+        return self.partitioner.partition_of(key)
+
+    def partitions_of(self, keys) -> Set[int]:
+        """The set of partitions covering ``keys``."""
+        return {self.partitioner.partition_of(key) for key in keys}

@@ -1,0 +1,56 @@
+"""Key-to-partition mapping strategies.
+
+Partitioners must be *stable across processes and runs* (Python's
+built-in ``hash`` is salted per process, so it is unusable here): replica
+consistency checks compare stores produced by independently constructed
+clusters.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Hashable
+
+from repro.errors import ConfigError
+
+Key = Hashable
+
+
+def stable_hash(key: Key) -> int:
+    """A process-stable 32-bit hash of a key (CRC32 over its repr)."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Partitioner:
+    """Maps keys to partition ids in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ConfigError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: Key) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Uniform hash partitioning over the stable hash of the whole key."""
+
+    def partition_of(self, key: Key) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+class FuncPartitioner(Partitioner):
+    """Partitioning by a caller-supplied function (e.g. TPC-C by warehouse).
+
+    The function may return any integer; it is reduced modulo the
+    partition count, so "partition by warehouse id" is simply
+    ``lambda key: warehouse_of(key)``.
+    """
+
+    def __init__(self, num_partitions: int, func: Callable[[Key], int]):
+        super().__init__(num_partitions)
+        self._func = func
+
+    def partition_of(self, key: Key) -> int:
+        return int(self._func(key)) % self.num_partitions

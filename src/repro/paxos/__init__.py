@@ -1,0 +1,36 @@
+"""Multi-Paxos over the simulated network.
+
+Calvin replicates *transaction inputs*: in "paxos" replication mode each
+partition's sequencer batches are agreed upon by a Paxos group spanning
+that partition's nodes across all replicas (geographically distant
+sites). Because instances pipeline, agreement adds WAN round-trip
+latency but does not reduce throughput — the claim experiment E6
+measures.
+
+The implementation is a classic Multi-Paxos: proposer/acceptor/learner
+roles co-located on every group member, a leader lease established by
+Phase 1 over an open-ended instance range, per-instance Phase 2, and
+in-order delivery of chosen values to the consumer.
+"""
+
+from repro.paxos.messages import (
+    Accept,
+    Accepted,
+    Ballot,
+    Learn,
+    Nack,
+    Prepare,
+    Promise,
+)
+from repro.paxos.participant import PaxosParticipant
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Ballot",
+    "Learn",
+    "Nack",
+    "PaxosParticipant",
+    "Prepare",
+    "Promise",
+]

@@ -1,0 +1,82 @@
+"""Paxos wire protocol.
+
+Ballots are ``(round, proposer_id)`` tuples — totally ordered and unique
+per proposer, the standard construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+Ballot = Tuple[int, int]
+
+_HEADER = 64
+_VALUE_SIZE = 512  # a sequencer batch; refined by callers when known
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: proposer asks for promises from ``from_instance`` onward."""
+
+    ballot: Ballot
+    from_instance: int
+
+    def size_estimate(self) -> int:
+        return _HEADER
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: acceptor promises; reports prior accepts >= from_instance."""
+
+    ballot: Ballot
+    accepted: Dict[int, Tuple[Ballot, Any]] = field(default_factory=dict)
+
+    def size_estimate(self) -> int:
+        return _HEADER + _VALUE_SIZE * len(self.accepted)
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: proposer asks acceptors to accept ``value`` at ``instance``."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+
+    def size_estimate(self) -> int:
+        return _HEADER + _VALUE_SIZE
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: acceptor accepted."""
+
+    ballot: Ballot
+    instance: int
+
+    def size_estimate(self) -> int:
+        return _HEADER
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Rejection carrying the higher promised ballot (leadership lost)."""
+
+    ballot: Ballot
+    promised: Ballot
+
+    def size_estimate(self) -> int:
+        return _HEADER
+
+
+@dataclass(frozen=True)
+class Learn:
+    """Proposer → learners: ``value`` is chosen at ``instance``."""
+
+    instance: int
+    value: Any
+
+    def size_estimate(self) -> int:
+        return _HEADER + _VALUE_SIZE

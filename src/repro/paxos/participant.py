@@ -1,0 +1,298 @@
+"""A Multi-Paxos group member: proposer + acceptor + learner in one object.
+
+Each participant lives on one node and talks to its peers through the
+simulated network via a ``send(dst_member_id, message)`` function the
+host node provides. ``member_id`` values are small integers (the replica
+index in the sequencer's use). Chosen values are delivered to
+``on_decide(instance, value)`` strictly in instance order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PaxosError
+from repro.paxos.messages import Accept, Accepted, Ballot, Learn, Nack, Prepare, Promise
+
+SendFn = Callable[[int, Any], None]
+DecideFn = Callable[[int, Any], None]
+
+
+class _NoOp:
+    """Filler value proposed to close instance gaps left by deposed
+    leaders; never delivered to the consumer."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NOOP>"
+
+
+NOOP = _NoOp()
+
+
+class PaxosParticipant:
+    """One member of a Multi-Paxos group."""
+
+    def __init__(
+        self,
+        sim,
+        member_id: int,
+        group: List[int],
+        send: SendFn,
+        on_decide: DecideFn,
+        is_initial_leader: bool = False,
+    ):
+        if member_id not in group:
+            raise PaxosError(f"member {member_id} not in group {group}")
+        self.sim = sim
+        self.member_id = member_id
+        self.group = sorted(group)
+        self._send = send
+        self._on_decide = on_decide
+
+        # --- acceptor state ---
+        self.promised: Ballot = (0, -1)
+        self.accepted: Dict[int, Tuple[Ballot, Any]] = {}
+
+        # --- proposer state ---
+        self.leading = False
+        self._electing = False
+        self.ballot: Ballot = (0, member_id)
+        self._next_instance = 0
+        self._queue: List[Any] = []
+        self._retry_pending = False
+        self._election_attempts = 0
+        # instance -> {"value": v, "acks": set of member ids, "chosen": bool}
+        self._inflight: Dict[int, Dict[str, Any]] = {}
+        self._promises: Dict[int, Promise] = {}
+
+        # --- learner state ---
+        self.chosen: Dict[int, Any] = {}
+        self._deliver_cursor = 0
+
+        self.decided_count = 0
+        if is_initial_leader:
+            self._start_election()
+
+    # -- public API -----------------------------------------------------
+
+    def propose(self, value: Any) -> None:
+        """Submit a value for agreement (order of delivery = proposal order
+        while leadership is stable)."""
+        if self.leading:
+            self._phase2(value)
+        else:
+            self._queue.append(value)
+            if not self._electing:
+                self._start_election()
+
+    def handle(self, src: int, message: Any) -> None:
+        """Route an incoming Paxos message from group member ``src``."""
+        if isinstance(message, Prepare):
+            self._on_prepare(src, message)
+        elif isinstance(message, Promise):
+            self._on_promise(src, message)
+        elif isinstance(message, Accept):
+            self._on_accept(src, message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(src, message)
+        elif isinstance(message, Nack):
+            self._on_nack(message)
+        elif isinstance(message, Learn):
+            self._on_learn(message)
+        else:
+            raise PaxosError(f"unexpected paxos message: {message!r}")
+
+    @property
+    def majority(self) -> int:
+        return len(self.group) // 2 + 1
+
+    # -- proposer ---------------------------------------------------------
+
+    def _start_election(self) -> None:
+        self._electing = True
+        self.leading = False
+        self.ballot = (self.ballot[0] + 1, self.member_id)
+        self._promises = {}
+        prepare = Prepare(self.ballot, from_instance=self._deliver_cursor)
+        for member in self.group:
+            self._send(member, prepare)
+
+    def _on_promise(self, src: int, promise: Promise) -> None:
+        if promise.ballot != self.ballot or not self._electing:
+            return
+        self._promises[src] = promise
+        if len(self._promises) < self.majority:
+            return
+        self._electing = False
+        self.leading = True
+        # Never assign new values below what we already know is decided
+        # (everything under the delivery cursor, plus any chosen-ahead
+        # instances) — a fresh leader's counter starts at zero otherwise.
+        horizon = max([self._deliver_cursor] + [i + 1 for i in self.chosen])
+        self._next_instance = max(self._next_instance, horizon)
+        # Re-propose the highest-ballot accepted value for every instance
+        # any promiser reported (classic Phase 1 value selection).
+        carried: Dict[int, Tuple[Ballot, Any]] = {}
+        for promise_msg in self._promises.values():
+            for instance, (ballot, value) in promise_msg.accepted.items():
+                if instance not in carried or ballot > carried[instance][0]:
+                    carried[instance] = (ballot, value)
+        for instance in sorted(carried):
+            if instance not in self.chosen and instance not in self._inflight:
+                self._phase2(carried[instance][1], instance=instance)
+        # Fill any remaining holes below our instance horizon with no-ops
+        # so the in-order learners can make progress past abandoned
+        # instances of deposed leaderships.
+        for instance in range(self._deliver_cursor, self._next_instance):
+            if (
+                instance not in self.chosen
+                and instance not in carried
+                and instance not in self._inflight
+            ):
+                self._phase2(NOOP, instance=instance)
+        queued, self._queue = self._queue, []
+        for value in queued:
+            self._phase2(value)
+
+    def _phase2(self, value: Any, instance: Optional[int] = None) -> None:
+        if instance is None:
+            instance = self._next_instance
+        self._next_instance = max(self._next_instance, instance + 1)
+        self._inflight[instance] = {"value": value, "acks": set(), "chosen": False}
+        accept = Accept(self.ballot, instance, value)
+        for member in self.group:
+            self._send(member, accept)
+
+    def _on_accepted(self, src: int, message: Accepted) -> None:
+        if message.ballot != self.ballot:
+            return
+        entry = self._inflight.get(message.instance)
+        if entry is None or entry["chosen"]:
+            return
+        entry["acks"].add(src)
+        if len(entry["acks"]) >= self.majority:
+            entry["chosen"] = True
+            # Real progress under our leadership: contention (if any)
+            # has resolved in our favour, so reset the election backoff.
+            self._election_attempts = 0
+            learn = Learn(message.instance, entry["value"])
+            for member in self.group:
+                self._send(member, learn)
+            del self._inflight[message.instance]
+
+    def _on_nack(self, message: Nack) -> None:
+        if message.ballot != self.ballot:
+            return
+        self.ballot = (max(self.ballot[0], message.promised[0]), self.member_id)
+        self._step_down()
+
+    def _step_down(self) -> None:
+        """Leadership contested or lost: requeue unchosen in-flight
+        values and retry Phase 1 later with a higher round.
+
+        The retry backoff is member-specific and grows exponentially
+        until some proposal of ours is actually chosen — that lets one
+        side's election (a WAN round trip) complete undisturbed and
+        breaks duelling-proposer livelock. No-op hole fillers are NOT
+        requeued: they are instance-specific, and whoever leads next
+        re-fills holes as needed (requeuing them at fresh instances
+        would mint new holes without bound).
+        """
+        self.leading = False
+        requeue = [
+            self._inflight.pop(instance)["value"]
+            for instance in sorted(self._inflight)
+        ]
+        self._queue = [v for v in requeue if not isinstance(v, _NoOp)] + self._queue
+        self._electing = True
+        if not self._retry_pending:
+            self._retry_pending = True
+            self._election_attempts += 1
+            backoff = 0.002 * (1 + self.member_id) * min(2 ** self._election_attempts, 256)
+            self.sim.schedule(backoff, self._retry_election)
+
+    def _retry_election(self) -> None:
+        self._retry_pending = False
+        if self.leading:
+            return
+        if not self._queue and not self._inflight:
+            # Nothing to propose: stay a follower instead of duelling
+            # with whoever took leadership (prevents election livelock).
+            self._electing = False
+            return
+        self._start_election()
+
+    # -- acceptor -----------------------------------------------------------
+
+    def _on_prepare(self, src: int, message: Prepare) -> None:
+        if message.ballot < self.promised:
+            self._send(src, Nack(message.ballot, self.promised))
+            return
+        if src != self.member_id and message.ballot > self.ballot and self.leading:
+            # Our co-located acceptor just promised a higher ballot to
+            # someone else: we are deposed. Step down immediately rather
+            # than discovering it one Nack per in-flight accept.
+            self.ballot = (max(self.ballot[0], message.ballot[0]), self.member_id)
+            self._step_down()
+        self.promised = message.ballot
+        relevant = {
+            instance: entry
+            for instance, entry in self.accepted.items()
+            if instance >= message.from_instance
+        }
+        self._send(src, Promise(message.ballot, relevant))
+
+    def _on_accept(self, src: int, message: Accept) -> None:
+        if message.ballot < self.promised:
+            self._send(src, Nack(message.ballot, self.promised))
+            return
+        self.promised = message.ballot
+        self.accepted[message.instance] = (message.ballot, message.value)
+        self._send(src, Accepted(message.ballot, message.instance))
+
+    # -- learner ----------------------------------------------------------
+
+    def _on_learn(self, message: Learn) -> None:
+        existing = self.chosen.get(message.instance)
+        if existing is not None and existing != message.value:
+            raise PaxosError(
+                f"safety violation: instance {message.instance} chosen twice "
+                "with different values"
+            )
+        self.chosen[message.instance] = message.value
+        # Duplicate suppression: if a value we still intend to propose
+        # (queued, not yet bound to an instance) just got chosen — e.g.
+        # it was accepted by a majority right before we lost leadership
+        # and requeued it — drop our copy. In-flight entries are NOT
+        # cancelled: acceptors may already hold them at our ballot, and
+        # abandoning the instance would tempt us to propose a second
+        # value at the same (ballot, instance) — a safety violation.
+        # If a value does end up chosen at two instances, the consumer
+        # (the sequencer's idempotent dispatch) drops the duplicate.
+        if not isinstance(message.value, _NoOp):
+            for index, queued in enumerate(self._queue):
+                if queued == message.value:
+                    del self._queue[index]
+                    break
+        # NOTE: acceptor state is deliberately NOT compacted on learn —
+        # a future Phase 1 from a member that missed this Learn must
+        # still be able to discover the accepted value through promises.
+        while self._deliver_cursor in self.chosen:
+            instance = self._deliver_cursor
+            self._deliver_cursor += 1
+            self.decided_count += 1
+            value = self.chosen[instance]
+            if not isinstance(value, _NoOp):
+                self._on_decide(instance, value)
+        # A quiescent leader with undelivered chosen instances above a
+        # hole fills the hole with no-ops (deposed leaderships can leave
+        # permanent gaps otherwise).
+        if (
+            self.leading
+            and not self._inflight
+            and not self._queue
+            and self._deliver_cursor < self._next_instance
+        ):
+            for instance in range(self._deliver_cursor, self._next_instance):
+                if instance not in self.chosen:
+                    self._phase2(NOOP, instance=instance)

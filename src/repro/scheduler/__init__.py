@@ -1,0 +1,23 @@
+"""The scheduling layer (paper Section 3, Figure 1 right column).
+
+Each node's scheduler reconstructs the global serial order from the
+sub-batches of all sequencers, requests locks strictly in that order
+(deterministic locking — the whole point of Calvin), and executes
+transactions through the paper's five phases:
+
+1. read/write set analysis,
+2. perform local reads,
+3. serve remote reads (push local values to active participants),
+4. collect remote read results,
+5. execute logic and apply local writes.
+
+Because lock acquisition order equals the agreed serial order at every
+node, distributed deadlock is impossible and no commit protocol is
+needed: every active participant deterministically reaches the same
+commit/abort decision from the same full read snapshot.
+"""
+
+from repro.scheduler.lockmanager import DeterministicLockManager, LockMode
+from repro.scheduler.scheduler import Scheduler
+
+__all__ = ["DeterministicLockManager", "LockMode", "Scheduler"]

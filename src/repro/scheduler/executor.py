@@ -1,0 +1,171 @@
+"""Transaction execution: the paper's five phases, as one worker process.
+
+The process starts once the local lock manager has granted every local
+lock. Worker slots model CPU concurrency: they are held while the
+transaction does work, and *released* while it blocks on remote reads
+(Calvin worker threads block, but the CPU runs other transactions).
+Locks, however, are held across the wait — that is the lock-hold window
+deterministic locking shortens relative to 2PC, and the mechanism behind
+the contention-index experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, TYPE_CHECKING
+
+from repro.errors import TransactionAborted
+from repro.net.messages import RemoteRead, TxnReply
+from repro.partition.catalog import NodeId, node_address
+from repro.txn.context import TxnContext
+from repro.txn.result import TransactionResult, TxnStatus
+from repro.txn.transaction import SequencedTxn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scheduler.scheduler import Scheduler
+
+
+class Executor:
+    """Executes one sequenced transaction on one participant node."""
+
+    def __init__(self, scheduler: "Scheduler", stxn: SequencedTxn):
+        self.scheduler = scheduler
+        self.stxn = stxn
+        # The executor is created the moment the last local lock is
+        # granted, so "now" is the lock-grant timestamp.
+        self.granted_time = scheduler.sim.now
+
+    def run(self):
+        """The worker process (a simulation generator)."""
+        sched = self.scheduler
+        sim = sched.sim
+        costs = sched.config.costs
+        catalog = sched.catalog
+        txn = self.stxn.txn
+        seq = self.stxn.seq
+        mine = sched.node_id.partition
+
+        # Phase 1 — read/write set analysis.
+        participants = txn.participants(catalog)
+        active = txn.active_participants(catalog)
+        is_active = mine in active
+        reader_partitions = catalog.partitions_of(txn.read_set)
+        local_read_keys = sorted(
+            (key for key in txn.read_set if catalog.partition_of(key) == mine),
+            key=repr,
+        )
+
+        yield sched.workers.request()
+
+        # Stall on any still-cold local data (only happens when the
+        # sequencer's prefetch was skipped or its estimate too low — the
+        # Section 4 penalty path). The disk wait holds locks AND the
+        # worker: exactly the stall Calvin's prefetching exists to avoid.
+        cold = sched.engine.cold_keys_of(local_read_keys)
+        if cold:
+            yield sim.all_of([sched.engine.fetch(key) for key in cold])
+
+        # Phase 2 — perform local reads.
+        cpu = costs.txn_base_cpu + costs.read_cpu * len(local_read_keys)
+        local_values = {key: sched.engine.read(key) for key in local_read_keys}
+
+        reads: Dict = local_values
+        messages_received = 0
+        if len(participants) > 1:
+            cpu += costs.multipartition_overhead_cpu
+            yield sim.timeout(cpu)
+
+            # Phase 3 — serve remote reads: push local values to every
+            # *other* active participant.
+            if local_read_keys:
+                message = RemoteRead(seq, mine, local_values)
+                for partition in sorted(active - {mine}):
+                    target = NodeId(sched.node_id.replica, partition)
+                    sched.send(node_address(target), message, message.size_estimate())
+
+            if not is_active:
+                # Passive participant: its job ends here.
+                sched.workers.release()
+                sched.finish_txn(self.stxn, None, passive=True)
+                return
+
+            # Phase 4 — collect remote read results from every other
+            # partition holding read-set data. The worker is released for
+            # the wait (threads block; CPUs don't), locks stay held.
+            expected = reader_partitions - {mine}
+            if not expected.issubset(sched.remote_reads_for(seq)):
+                sched.workers.release()
+                while not expected.issubset(sched.remote_reads_for(seq)):
+                    yield sched.remote_read_arrival(seq)
+                yield sched.workers.request()
+            reads = dict(local_values)
+            for values in sched.remote_reads_for(seq).values():
+                reads.update(values)
+                messages_received += 1
+        else:
+            yield sim.timeout(cpu)
+
+        # Phase 5 — execute logic, apply local writes.
+        result = yield from self._execute_logic(reads, messages_received)
+        sched.workers.release()
+        report = result if mine == txn.reply_partition(catalog) else None
+        if report is not None and txn.client is not None and sched.node_id.replica == 0:
+            reply = TxnReply(report)
+            sched.send(txn.client, reply, reply.size_estimate())
+        sched.finish_txn(self.stxn, report, passive=False)
+
+    def _execute_logic(self, reads: Dict, messages_received: int):
+        """Run recheck + procedure logic; apply this partition's writes."""
+        sched = self.scheduler
+        sim = sched.sim
+        costs = sched.config.costs
+        catalog = sched.catalog
+        txn = self.stxn.txn
+        mine = sched.node_id.partition
+        procedure = sched.registry.get(txn.procedure)
+
+        context = TxnContext(txn, reads)
+        status: TxnStatus
+        value: Any = None
+
+        # OLLP recheck (Section 3.2.1): deterministic — every active
+        # participant computes the same verdict from the same snapshot.
+        stale = (
+            txn.dependent
+            and procedure.recheck is not None
+            and not procedure.recheck(context)
+        )
+        if stale:
+            status = TxnStatus.RESTART
+        else:
+            try:
+                value = procedure.logic(context)
+                status = TxnStatus.COMMITTED
+            except TransactionAborted as abort:
+                status = TxnStatus.ABORTED
+                value = abort.reason
+                context.writes.clear()
+
+        local_writes = {
+            key: val
+            for key, val in context.writes.items()
+            if catalog.partition_of(key) == mine
+        }
+        cpu = (
+            procedure.logic_cpu
+            + costs.write_cpu * len(local_writes)
+            + costs.remote_read_serve_cpu * messages_received
+        )
+        if cpu > 0:
+            yield sim.timeout(cpu)
+        if status is TxnStatus.COMMITTED and local_writes:
+            sched.engine.store.apply_writes(local_writes)
+
+        return TransactionResult(
+            txn_id=txn.txn_id,
+            status=status,
+            value=value,
+            submit_time=txn.submit_time,
+            complete_time=sim.now,
+            restarts=txn.restarts,
+            granted_time=self.granted_time,
+        )

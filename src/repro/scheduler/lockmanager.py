@@ -1,0 +1,158 @@
+"""Deterministic lock manager.
+
+Shared/exclusive locks over this partition's keys, with one ironclad
+rule (paper Section 3.1): lock requests are made in global-sequence
+order, and each lock is granted to requesters strictly in request order
+(readers may share). ``acquire`` never blocks — it queues requests and
+reports, via the ``on_ready`` callback, whenever some transaction holds
+*all* of its local locks and may start executing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List
+
+from repro.errors import SchedulerError
+from repro.partition.partitioner import Key
+from repro.txn.transaction import GlobalSeq, SequencedTxn
+
+
+class LockMode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class _Request:
+    __slots__ = ("seq", "mode", "granted")
+
+    def __init__(self, seq: GlobalSeq, mode: LockMode):
+        self.seq = seq
+        self.mode = mode
+        self.granted = False
+
+
+class _TxnEntry:
+    __slots__ = ("stxn", "pending", "keys")
+
+    def __init__(self, stxn: SequencedTxn, keys: List[Key]):
+        self.stxn = stxn
+        self.pending = 0
+        self.keys = keys
+
+
+class DeterministicLockManager:
+    """Per-partition lock table with in-order grants."""
+
+    def __init__(self, on_ready: Callable[[SequencedTxn], None]):
+        self._on_ready = on_ready
+        self._queues: Dict[Key, List[_Request]] = {}
+        self._txns: Dict[GlobalSeq, _TxnEntry] = {}
+        self._last_acquired: GlobalSeq = (-1, -1, -1)
+        self.grants = 0
+        self.immediate_grants = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def active_txns(self) -> int:
+        return len(self._txns)
+
+    def waiters_on(self, key: Key) -> int:
+        """Requests queued (granted or not) on ``key``."""
+        return len(self._queues.get(key, ()))
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(
+        self,
+        stxn: SequencedTxn,
+        read_keys: Iterable[Key],
+        write_keys: Iterable[Key],
+    ) -> bool:
+        """Queue all lock requests for ``stxn``; returns True if all
+        granted immediately. MUST be called in increasing sequence order —
+        that is the determinism invariant, and it is enforced."""
+        if stxn.seq <= self._last_acquired:
+            raise SchedulerError(
+                f"lock requests out of sequence order: {stxn.seq} after "
+                f"{self._last_acquired}"
+            )
+        self._last_acquired = stxn.seq
+        if stxn.seq in self._txns:
+            raise SchedulerError(f"duplicate lock acquisition for {stxn.seq}")
+
+        write_set = set(write_keys)
+        # A key both read and written gets one WRITE lock.
+        requests = [(key, LockMode.WRITE) for key in sorted(write_set, key=repr)]
+        requests += [
+            (key, LockMode.READ)
+            for key in sorted(set(read_keys) - write_set, key=repr)
+        ]
+        if not requests:
+            raise SchedulerError(f"transaction {stxn.seq} requests no local locks")
+
+        entry = _TxnEntry(stxn, [key for key, _mode in requests])
+        self._txns[stxn.seq] = entry
+        for key, mode in requests:
+            request = _Request(stxn.seq, mode)
+            queue = self._queues.setdefault(key, [])
+            queue.append(request)
+            self._grant_eligible(queue)
+            if not request.granted:
+                entry.pending += 1
+        if entry.pending == 0:
+            self.immediate_grants += 1
+            self.grants += 1
+            self._on_ready(stxn)
+            return True
+        return False
+
+    def release(self, stxn: SequencedTxn) -> None:
+        """Release all of ``stxn``'s locks; newly unblocked transactions
+        are reported through ``on_ready``."""
+        entry = self._txns.pop(stxn.seq, None)
+        if entry is None:
+            raise SchedulerError(f"release of unknown transaction {stxn.seq}")
+        ready: List[SequencedTxn] = []
+        for key in entry.keys:
+            queue = self._queues.get(key)
+            if queue is None:
+                raise SchedulerError(f"lock queue missing for key {key!r}")
+            for index, request in enumerate(queue):
+                if request.seq == stxn.seq:
+                    del queue[index]
+                    break
+            else:
+                raise SchedulerError(f"{stxn.seq} held no lock on {key!r}")
+            if not queue:
+                del self._queues[key]
+                continue
+            for newly in self._grant_eligible(queue):
+                waiter = self._txns[newly]
+                waiter.pending -= 1
+                if waiter.pending == 0:
+                    ready.append(waiter.stxn)
+        # Report in sequence order: with several transactions unblocked by
+        # one release, the earlier-sequenced one must start first.
+        for waiter_stxn in sorted(ready):
+            self.grants += 1
+            self._on_ready(waiter_stxn)
+
+    # -- grant rule -----------------------------------------------------------
+
+    def _grant_eligible(self, queue: List[_Request]) -> List[GlobalSeq]:
+        """Grant the head, plus a shared-read prefix; returns newly granted."""
+        newly: List[GlobalSeq] = []
+        head = queue[0]
+        if not head.granted:
+            head.granted = True
+            newly.append(head.seq)
+        if head.mode is LockMode.READ:
+            for request in queue[1:]:
+                if request.mode is not LockMode.READ:
+                    break
+                if not request.granted:
+                    request.granted = True
+                    newly.append(request.seq)
+        return newly

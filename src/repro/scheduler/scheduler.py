@@ -1,0 +1,301 @@
+"""The per-node scheduler: epoch barrier, in-order admission, execution.
+
+Admission models Calvin's single lock-manager thread: sub-batches from
+all sequencers are interleaved into the global order, then a single
+admission loop charges the lock-request CPU cost and queues lock
+requests strictly in that order. Granted transactions execute on the
+node's worker pool via :mod:`repro.scheduler.executor`.
+
+The scheduler also implements the epoch-aligned pause used by
+checkpointing: ``pause_before_epoch(E)`` stops admission just before
+epoch ``E`` and triggers a quiesce event once every transaction of
+epochs ``< E`` has finished locally, giving a transactionally consistent
+cut of the global sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.config import ClusterConfig
+from repro.errors import SchedulerError
+from repro.net.messages import RemoteRead, SubBatch
+from repro.partition.catalog import Catalog, NodeId
+from repro.partition.partitioner import stable_hash
+from repro.scheduler.executor import Executor
+from repro.scheduler.lockmanager import DeterministicLockManager
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import GlobalSeq, SequencedTxn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+    from repro.storage.engine import StorageEngine
+
+SendFn = Callable[[Any, Any, int], None]
+CompletionHook = Callable[[SequencedTxn, Any], None]
+
+
+class Scheduler:
+    """One node's scheduler component."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: NodeId,
+        catalog: Catalog,
+        config: ClusterConfig,
+        registry: ProcedureRegistry,
+        engine: "StorageEngine",
+        send: SendFn,
+        on_complete: Optional[CompletionHook] = None,
+        record_trace: bool = False,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.catalog = catalog
+        self.config = config
+        self.registry = registry
+        self.engine = engine
+        self.send = send
+        self.on_complete = on_complete
+
+        self.workers = Resource(sim, config.workers_per_node, name=f"workers{node_id}")
+        # Lock-manager shards: keys hash onto shards, each shard is one
+        # "lock manager thread" granting strictly in sequence order over
+        # its keys. One shard (the default) is the paper's design.
+        self._lock_shards = [
+            DeterministicLockManager(self._on_shard_ready)
+            for _ in range(config.lock_manager_shards)
+        ]
+        # Canonical alias for single-shard deployments (tests, stats).
+        self.locks = self._lock_shards[0]
+        # seq -> number of shards still holding ungranted locks.
+        self._lock_pending: Dict[GlobalSeq, int] = {}
+        # seq -> shard indexes involved (for release).
+        self._txn_shards: Dict[GlobalSeq, List[int]] = {}
+
+        # Epoch reassembly: epoch -> origin -> SubBatch.
+        self._arrived: Dict[int, Dict[int, SubBatch]] = {}
+        self._next_epoch = 0
+
+        # In-order admission queue; distributed to per-shard admission
+        # loops (each modeling one lock-manager thread's CPU).
+        self._admission: Deque[SequencedTxn] = deque()
+        self._shard_queues: List[Deque] = [
+            deque() for _ in range(config.lock_manager_shards)
+        ]
+        self._shard_active = [False] * config.lock_manager_shards
+
+        # Remote-read mailbox: seq -> {from_partition: values}.
+        self._mailbox: Dict[GlobalSeq, Dict[int, Dict]] = {}
+        self._mailbox_waiters: Dict[GlobalSeq, List[Event]] = {}
+
+        # Checkpoint pause machinery.
+        self._pause_epoch: Optional[int] = None
+        self._quiesce_event: Optional[Event] = None
+        self.outstanding = 0
+
+        # Statistics.
+        self.admitted = 0
+        self.completed = 0
+        self.passive_completions = 0
+        # Optional per-partition finish-order trace (seq per completion),
+        # consumed by the conflict-order checker.
+        self.execution_trace: Optional[List[GlobalSeq]] = [] if record_trace else None
+
+    # -- sub-batch intake and epoch barrier --------------------------------
+
+    def receive_subbatch(self, batch: SubBatch) -> None:
+        per_epoch = self._arrived.setdefault(batch.epoch, {})
+        if batch.origin_partition in per_epoch:
+            raise SchedulerError(
+                f"duplicate sub-batch epoch={batch.epoch} "
+                f"origin={batch.origin_partition} at {self.node_id}"
+            )
+        per_epoch[batch.origin_partition] = batch
+        self._advance_epochs()
+
+    def _advance_epochs(self) -> None:
+        num_origins = self.catalog.num_partitions
+        while True:
+            if self._pause_epoch is not None and self._next_epoch >= self._pause_epoch:
+                return
+            per_epoch = self._arrived.get(self._next_epoch)
+            if per_epoch is None or len(per_epoch) < num_origins:
+                return
+            del self._arrived[self._next_epoch]
+            for origin in range(num_origins):
+                self._admission.extend(per_epoch[origin].txns)
+            self._next_epoch += 1
+            self._kick_admission()
+
+    # -- admission (the lock-manager thread(s)) --------------------------
+
+    def _kick_admission(self) -> None:
+        # Distribute the in-order queue across shard admission loops.
+        # Distribution itself is free; each shard loop charges the lock
+        # CPU for its own keys, so shards lift the admission ceiling.
+        while self._admission:
+            stxn = self._admission.popleft()
+            read_keys, write_keys = self.local_footprint(stxn)
+            shards: Dict[int, List] = {}
+            for key in read_keys:
+                shards.setdefault(self._shard_of(key), [[], []])[0].append(key)
+            for key in write_keys:
+                shards.setdefault(self._shard_of(key), [[], []])[1].append(key)
+            self.admitted += 1
+            self.outstanding += 1
+            self._lock_pending[stxn.seq] = len(shards)
+            self._txn_shards[stxn.seq] = sorted(shards)
+            for index in sorted(shards):
+                shard_reads, shard_writes = shards[index]
+                self._shard_queues[index].append((stxn, shard_reads, shard_writes))
+                if not self._shard_active[index]:
+                    self._shard_active[index] = True
+                    self.sim.process(self._shard_admission_loop(index))
+
+    def _shard_of(self, key) -> int:
+        if len(self._lock_shards) == 1:
+            return 0
+        return stable_hash(key) % len(self._lock_shards)
+
+    def _shard_admission_loop(self, index: int):
+        queue = self._shard_queues[index]
+        shard = self._lock_shards[index]
+        while queue:
+            stxn, read_keys, write_keys = queue.popleft()
+            cost = self.config.costs.lock_request_cpu * (
+                len(read_keys) + len(write_keys)
+            )
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            shard.acquire(stxn, read_keys, write_keys)
+        self._shard_active[index] = False
+
+    def _on_shard_ready(self, stxn: SequencedTxn) -> None:
+        pending = self._lock_pending[stxn.seq] - 1
+        self._lock_pending[stxn.seq] = pending
+        if pending == 0:
+            del self._lock_pending[stxn.seq]
+            self._on_locks_ready(stxn)
+
+    @property
+    def admission_backlog(self) -> int:
+        """Transactions queued for lock admission (all shards)."""
+        return len(self._admission) + sum(len(q) for q in self._shard_queues)
+
+    def local_footprint(self, stxn: SequencedTxn):
+        """This partition's slice of the transaction's read/write sets."""
+        mine = self.node_id.partition
+        partition_of = self.catalog.partition_of
+        txn = stxn.txn
+        read_keys = [k for k in txn.read_set if partition_of(k) == mine]
+        write_keys = [k for k in txn.write_set if partition_of(k) == mine]
+        if not read_keys and not write_keys:
+            raise SchedulerError(
+                f"{stxn.seq} dispatched to non-participant partition {mine}"
+            )
+        return read_keys, write_keys
+
+    # -- execution -----------------------------------------------------------
+
+    def _on_locks_ready(self, stxn: SequencedTxn) -> None:
+        executor = Executor(self, stxn)
+        process = self.sim.process(executor.run())
+        process.add_callback(self._executor_finished)
+
+    def _executor_finished(self, event) -> None:
+        if not event.ok:
+            # An executor crash is a bug in the engine or a procedure
+            # (FootprintViolation etc.) — surface it, never swallow it.
+            raise event.value
+
+    def finish_txn(self, stxn: SequencedTxn, result: Any, passive: bool) -> None:
+        """Called by the executor once this node's work for ``stxn`` is done."""
+        for index in self._txn_shards.pop(stxn.seq):
+            self._lock_shards[index].release(stxn)
+        self._mailbox.pop(stxn.seq, None)
+        self._mailbox_waiters.pop(stxn.seq, None)
+        self.completed += 1
+        if self.execution_trace is not None:
+            self.execution_trace.append(stxn.seq)
+        if passive:
+            self.passive_completions += 1
+        self.outstanding -= 1
+        # The hook fires only on the reply partition (result is None on
+        # other active participants), so each transaction counts once
+        # per replica.
+        if result is not None and self.on_complete is not None:
+            self.on_complete(stxn, result)
+        self._maybe_quiesced()
+
+    # -- remote reads -----------------------------------------------------------
+
+    def receive_remote_read(self, message: RemoteRead) -> None:
+        entry = self._mailbox.setdefault(message.seq, {})
+        entry[message.from_partition] = message.values
+        waiters = self._mailbox_waiters.pop(message.seq, None)
+        if waiters:
+            for event in waiters:
+                event.succeed()
+
+    def remote_reads_for(self, seq: GlobalSeq) -> Dict[int, Dict]:
+        return self._mailbox.get(seq, {})
+
+    def remote_read_arrival(self, seq: GlobalSeq) -> Event:
+        """An event that triggers on the next remote-read arrival for ``seq``."""
+        event = Event(self.sim)
+        self._mailbox_waiters.setdefault(seq, []).append(event)
+        return event
+
+    def fast_forward(self, epoch: int) -> None:
+        """Start the epoch barrier at ``epoch`` (recovery replay resumes
+        mid-log). Only valid on a scheduler that has done no work yet."""
+        if self.admitted or self._arrived or self._next_epoch:
+            raise SchedulerError("fast_forward on a scheduler that already ran")
+        self._next_epoch = epoch
+
+    # -- checkpoint pause ---------------------------------------------------------
+
+    def pause_before_epoch(self, epoch: int) -> Event:
+        """Stop admitting epochs >= ``epoch``; returns a quiesce event that
+        triggers once all locally admitted work has drained."""
+        if self._pause_epoch is not None:
+            raise SchedulerError("scheduler already paused")
+        if epoch < self._next_epoch:
+            raise SchedulerError(
+                f"cannot pause before epoch {epoch}: already admitted "
+                f"up to {self._next_epoch}"
+            )
+        self._pause_epoch = epoch
+        self._quiesce_event = Event(self.sim)
+        # Already quiesced? (empty queues, nothing running, epoch reached)
+        self.sim.schedule(0.0, self._maybe_quiesced)
+        return self._quiesce_event
+
+    def resume(self) -> None:
+        if self._pause_epoch is None:
+            raise SchedulerError("resume of a scheduler that is not paused")
+        self._pause_epoch = None
+        self._quiesce_event = None
+        self._advance_epochs()
+
+    def _maybe_quiesced(self) -> None:
+        if self._quiesce_event is None or self._quiesce_event.triggered:
+            return
+        barrier_reached = self._next_epoch >= (self._pause_epoch or 0)
+        drained = self.admission_backlog == 0 and self.outstanding == 0
+        # All sub-batches for pre-barrier epochs must also have arrived
+        # and been admitted (none can be sitting in _arrived).
+        no_stragglers = all(
+            epoch >= (self._pause_epoch or 0) for epoch in self._arrived
+        )
+        if barrier_reached and drained and no_stragglers:
+            self._quiesce_event.succeed(self._next_epoch)
+
+    @property
+    def paused(self) -> bool:
+        return self._pause_epoch is not None

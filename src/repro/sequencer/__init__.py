@@ -1,0 +1,28 @@
+"""The sequencing layer (paper Section 3, Figure 1 left column).
+
+Sequencers collect client transaction requests into 10 ms epoch batches,
+replicate them (async or Paxos), and hand each scheduler exactly the
+sub-batch of transactions that involve its partition. The concatenation
+of all batches — epochs in order, origin sequencers in id order within
+an epoch — *is* the global serial order every node agrees on.
+
+Disk-bound transactions are intercepted here (Section 4): the sequencer
+issues prefetch requests immediately and defers the transaction by the
+expected fetch latency, so it reaches the scheduler with its data warm.
+"""
+
+from repro.sequencer.sequencer import Sequencer
+from repro.sequencer.replication import (
+    AsyncReplication,
+    NoReplication,
+    PaxosReplication,
+    ReplicationStrategy,
+)
+
+__all__ = [
+    "AsyncReplication",
+    "NoReplication",
+    "PaxosReplication",
+    "ReplicationStrategy",
+    "Sequencer",
+]

@@ -1,0 +1,110 @@
+"""Input-replication strategies for the sequencer.
+
+Calvin replicates transaction *inputs* before (or while) they execute:
+
+- :class:`NoReplication` — single replica; dispatch immediately.
+- :class:`AsyncReplication` — dispatch locally at once, ship the batch
+  to peer replicas in the background. Lowest latency; a crashed origin
+  can lose its tail (the paper's weaker consistency option).
+- :class:`PaxosReplication` — the batch is proposed to a Multi-Paxos
+  group spanning this partition's nodes in every replica; *every*
+  replica (origin included) dispatches only decided batches, so all
+  replicas apply exactly the same input log. Adds WAN agreement latency,
+  costs no throughput (instances pipeline) — experiment E6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.messages import ReplicaBatch
+from repro.partition.catalog import NodeId, node_address
+from repro.paxos.participant import PaxosParticipant
+from repro.txn.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sequencer.sequencer import Sequencer
+
+
+class ReplicationStrategy:
+    """Decides when a produced batch may be dispatched, and replicates it."""
+
+    def attach(self, sequencer: "Sequencer") -> None:
+        self.sequencer = sequencer
+
+    def publish(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
+        """Called by the origin sequencer when an epoch batch is closed."""
+        raise NotImplementedError
+
+    def handle_replica_batch(self, batch: ReplicaBatch) -> None:
+        """Called when a peer replica ships a batch (async mode only)."""
+        raise NotImplementedError("this strategy does not expect replica batches")
+
+    def handle_paxos(self, src_member: int, message: Any) -> None:
+        """Called with Paxos traffic (paxos mode only)."""
+        raise NotImplementedError("this strategy does not speak Paxos")
+
+
+class NoReplication(ReplicationStrategy):
+    """Single-replica deployments: batches dispatch immediately."""
+
+    def publish(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
+        self.sequencer.dispatch(epoch, txns)
+
+
+class AsyncReplication(ReplicationStrategy):
+    """Dispatch at the origin immediately; ship to peers asynchronously."""
+
+    def publish(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
+        sequencer = self.sequencer
+        sequencer.dispatch(epoch, txns)
+        batch = ReplicaBatch(epoch, sequencer.node_id.partition, txns)
+        for peer in sequencer.peer_replica_nodes():
+            sequencer.send(node_address(peer), batch, batch.size_estimate())
+
+    def handle_replica_batch(self, batch: ReplicaBatch) -> None:
+        # Peer replica: the origin already ordered the batch; apply it.
+        self.sequencer.dispatch(batch.epoch, batch.txns)
+
+
+class PaxosReplication(ReplicationStrategy):
+    """Strong consistency: agree on every batch before any replica dispatches."""
+
+    def __init__(self) -> None:
+        self._participant: Optional[PaxosParticipant] = None
+
+    def attach(self, sequencer: "Sequencer") -> None:
+        super().attach(sequencer)
+        node = sequencer.node_id
+        group = [n.replica for n in sequencer.catalog.replicas_of_partition(node.partition)]
+        self._participant = PaxosParticipant(
+            sim=sequencer.sim,
+            member_id=node.replica,
+            group=group,
+            send=self._send_to_member,
+            on_decide=self._on_decide,
+            # Replica 0's sequencers take client input and lead their groups.
+            is_initial_leader=(node.replica == 0),
+        )
+
+    @property
+    def participant(self) -> PaxosParticipant:
+        assert self._participant is not None, "strategy not attached"
+        return self._participant
+
+    def publish(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
+        # The origin does NOT dispatch yet: it waits for its own learner,
+        # so a batch only ever executes once it is durable on a majority.
+        self.participant.propose(ReplicaBatch(epoch, self.sequencer.node_id.partition, txns))
+
+    def _send_to_member(self, member_replica: int, message: Any) -> None:
+        sequencer = self.sequencer
+        peer = NodeId(member_replica, sequencer.node_id.partition)
+        size = message.size_estimate() if hasattr(message, "size_estimate") else 128
+        sequencer.send(node_address(peer), message, size)
+
+    def _on_decide(self, instance: int, value: ReplicaBatch) -> None:
+        self.sequencer.dispatch(value.epoch, value.txns)
+
+    def handle_paxos(self, src_member: int, message: Any) -> None:
+        self.participant.handle(src_member, message)

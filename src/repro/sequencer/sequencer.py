@@ -1,0 +1,196 @@
+"""The per-node sequencer: epoch batching, disk deferral, dispatch.
+
+Global order construction (paper Section 3): time is divided into
+epochs; every input-accepting sequencer closes one batch per epoch; the
+agreed global order is "all epoch-e batches in origin-partition order,
+then epoch e+1, ...". Schedulers reconstruct this by collecting one
+sub-batch per origin per epoch, so the sequencer sends a sub-batch to
+*every* scheduler of its replica each epoch, empty ones included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.config import ClusterConfig
+from repro.net.messages import PrefetchRequest, ReplicaBatch, SubBatch
+from repro.partition.catalog import Catalog, NodeId, node_address
+from repro.sequencer.replication import ReplicationStrategy
+from repro.storage.inputlog import InputLog, LogEntry
+from repro.txn.transaction import SequencedTxn, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+    from repro.storage.engine import StorageEngine
+
+SendFn = Callable[[Any, Any, int], None]
+
+
+class Sequencer:
+    """One node's sequencer component."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: NodeId,
+        catalog: Catalog,
+        config: ClusterConfig,
+        send: SendFn,
+        input_log: InputLog,
+        engine: "StorageEngine",
+        replication: ReplicationStrategy,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.catalog = catalog
+        self.config = config
+        self.send = send
+        self.input_log = input_log
+        self.engine = engine
+        self.replication = replication
+        replication.attach(self)
+
+        self._buffer: List[Transaction] = []
+        self._epoch = 0
+        self._dispatched_epochs = set()
+        self._started = False
+        # Local input-log durability (only meaningful without replication).
+        self._force_log = None
+        if config.force_input_log and config.replication_mode == "none":
+            from repro.baseline.log import GroupCommitLog
+
+            self._force_log = GroupCommitLog(sim, config.costs.log_force_latency)
+        self.txns_sequenced = 0
+        self.txns_deferred = 0
+        self.batches_dispatched = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def accepts_input(self) -> bool:
+        """Only replica 0 takes client input (it leads the Paxos groups)."""
+        return self.node_id.replica == 0
+
+    def start(self) -> None:
+        """Begin epoch ticking (input-accepting sequencers only)."""
+        if self._started or not self.accepts_input:
+            return
+        self._started = True
+        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+
+    # -- input ---------------------------------------------------------------
+
+    def submit(self, txn: Transaction) -> None:
+        """Accept a client transaction request into the current epoch.
+
+        Disk-bound transactions (Section 4) are deferred: prefetch
+        requests go out immediately to every participant, and the
+        transaction joins whatever epoch is current once the estimated
+        fetch latency has elapsed.
+        """
+        if not self.accepts_input:
+            raise RuntimeError("client input submitted to a non-input replica")
+        if self.config.disk_enabled:
+            cold = self._cold_keys(txn)
+            if cold:
+                self._defer_for_prefetch(txn, cold)
+                return
+        self._buffer.append(txn)
+
+    def _cold_keys(self, txn: Transaction):
+        # The sequencer applies the *policy* predicate for every key;
+        # warmth of remote partitions is unknown here, so it is
+        # conservative (its own engine's predicate is cluster policy).
+        predicate = self.engine._cold_predicate
+        return [key for key in sorted(txn.all_keys(), key=repr) if predicate(key)]
+
+    def _defer_for_prefetch(self, txn: Transaction, cold_keys) -> None:
+        self.txns_deferred += 1
+        by_partition = {}
+        for key in cold_keys:
+            by_partition.setdefault(self.catalog.partition_of(key), []).append(key)
+        for partition, keys in by_partition.items():
+            target = NodeId(self.node_id.replica, partition)
+            message = PrefetchRequest(tuple(keys))
+            self.send(node_address(target), message, message.size_estimate())
+        delay = (
+            self.engine.expected_fetch_latency(self.config.disk_estimate_error)
+            + self.config.disk_prefetch_delay
+        )
+        self.sim.schedule(delay, self._admit_deferred, txn)
+
+    def _admit_deferred(self, txn: Transaction) -> None:
+        # Note: must go through self so it lands in the *current* epoch
+        # buffer (the buffer list is rebound at every epoch tick).
+        self._buffer.append(txn)
+
+    # -- epochs -----------------------------------------------------------
+
+    def _epoch_tick(self) -> None:
+        epoch = self._epoch
+        self._epoch += 1
+        batch, self._buffer = tuple(self._buffer), []
+        self.txns_sequenced += len(batch)
+        if self._force_log is not None:
+            # Durability before visibility: the batch reaches the
+            # schedulers only once its input records are on stable
+            # storage (group-committed with neighbouring epochs). Empty
+            # epochs ride through the same queue so publish order — and
+            # therefore the input log's ordering invariant — holds.
+            done = self._force_log.force()
+            done.add_callback(
+                lambda _event, e=epoch, b=batch: self.replication.publish(e, b)
+            )
+        else:
+            self.replication.publish(epoch, batch)
+        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+
+    # -- dispatch (called by the replication strategy once a batch is
+    #    allowed to execute at THIS replica) --------------------------------
+
+    def dispatch(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
+        """Log the batch and fan sub-batches out to this replica's schedulers.
+
+        Idempotent per epoch: Paxos may (rarely) deliver a batch that a
+        deposed-and-re-elected leader also re-proposed; only the first
+        delivery counts.
+        """
+        if epoch in self._dispatched_epochs:
+            return
+        self._dispatched_epochs.add(epoch)
+        origin = self.node_id.partition
+        self.input_log.append(LogEntry(epoch, origin, txns))
+        self.batches_dispatched += 1
+
+        per_partition: List[List[SequencedTxn]] = [
+            [] for _ in range(self.catalog.num_partitions)
+        ]
+        for index, txn in enumerate(txns):
+            stxn = SequencedTxn((epoch, origin, index), txn)
+            for partition in txn.participants(self.catalog):
+                per_partition[partition].append(stxn)
+
+        # Sequencer CPU: batch assembly/serialization delay.
+        delay = len(txns) * self.config.costs.sequencer_cpu_per_txn
+        for partition in range(self.catalog.num_partitions):
+            target = NodeId(self.node_id.replica, partition)
+            message = SubBatch(epoch, origin, tuple(per_partition[partition]))
+            self.sim.schedule(
+                delay, self.send, node_address(target), message, message.size_estimate()
+            )
+
+    # -- replication plumbing ------------------------------------------------
+
+    def handle_replica_batch(self, batch: ReplicaBatch) -> None:
+        self.replication.handle_replica_batch(batch)
+
+    def handle_paxos(self, src_member: int, message: Any) -> None:
+        self.replication.handle_paxos(src_member, message)
+
+    def peer_replica_nodes(self) -> List[NodeId]:
+        """Same-partition nodes in the other replicas."""
+        return [
+            node
+            for node in self.catalog.replicas_of_partition(self.node_id.partition)
+            if node.replica != self.node_id.replica
+        ]

@@ -1,0 +1,118 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` keeps a binary heap of ``(time, sequence, fn, args)``
+entries. Equal-time entries run in scheduling order (FIFO), which makes
+runs bit-for-bit reproducible for a fixed seed — a property the
+replica-consistency experiments depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator (virtual time in seconds)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        self.schedule(max(0.0, when - self.now), fn, *args)
+
+    # -- event constructors ---------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """An event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """An event that triggers when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when virtual time would pass
+        ``until``, or after ``max_events`` dispatches (a runaway guard).
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._heap:
+                when, _seq, fn, args = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                fn(*args)
+                self.events_executed += 1
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely a livelock in the model"
+                    )
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value (raise if it failed)."""
+        while not event.triggered or event._callbacks is not None:
+            if not self._heap:
+                raise SimulationError("event queue drained before event triggered")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"event not triggered before t={limit}")
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            self.now = when
+            fn(*args)
+            self.events_executed += 1
+        if event.ok:
+            return event.value
+        raise event.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of entries currently queued."""
+        return len(self._heap)

@@ -1,0 +1,137 @@
+"""Simulated cluster network: latency + bandwidth, per-link FIFO delivery.
+
+Nodes register a handler under an address (any hashable id). ``send``
+computes a delivery time from the link's latency and the message size
+over the link's bandwidth, then clamps it to preserve FIFO ordering per
+directed link — TCP-like ordering, which the Calvin scheduler's
+remote-read protocol and Paxos both assume.
+
+Topologies map each address to a *site* (datacenter). Intra-site links
+use the LAN profile, inter-site links the WAN profile; this is how the
+replication experiment models geographically distant replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.errors import NetworkError
+
+Address = Hashable
+Handler = Callable[[Address, Any], None]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed link class: latency in seconds, bandwidth in bytes/sec."""
+
+    latency: float
+    bandwidth: Optional[float] = None  # None = infinite
+
+    def transfer_time(self, size: int) -> float:
+        if self.bandwidth is None or size <= 0:
+            return self.latency
+        return self.latency + size / self.bandwidth
+
+
+class Topology:
+    """Maps addresses to sites and (site, site) pairs to link specs."""
+
+    def __init__(self, local: LinkSpec, intra_site: LinkSpec, inter_site: LinkSpec):
+        self.local = local
+        self.intra_site = intra_site
+        self.inter_site = inter_site
+        self._sites: Dict[Address, int] = {}
+        self._overrides: Dict[Tuple[int, int], LinkSpec] = {}
+
+    def place(self, address: Address, site: int) -> None:
+        """Assign ``address`` to datacenter ``site``."""
+        self._sites[address] = site
+
+    def site_of(self, address: Address) -> int:
+        return self._sites.get(address, 0)
+
+    def set_site_link(self, site_a: int, site_b: int, spec: LinkSpec) -> None:
+        """Override the link spec between two sites (both directions)."""
+        self._overrides[(site_a, site_b)] = spec
+        self._overrides[(site_b, site_a)] = spec
+
+    def link(self, src: Address, dst: Address) -> LinkSpec:
+        if src == dst:
+            return self.local
+        site_src, site_dst = self.site_of(src), self.site_of(dst)
+        if site_src == site_dst:
+            return self.intra_site
+        return self._overrides.get((site_src, site_dst), self.inter_site)
+
+
+def lan_topology(latency: float = 0.0005, bandwidth: float = 125e6) -> Topology:
+    """A single-datacenter topology (default: 0.5 ms, 1 Gbps)."""
+    return Topology(
+        local=LinkSpec(latency=0.0, bandwidth=None),
+        intra_site=LinkSpec(latency=latency, bandwidth=bandwidth),
+        inter_site=LinkSpec(latency=latency, bandwidth=bandwidth),
+    )
+
+
+def wan_topology(
+    lan_latency: float = 0.0005,
+    wan_latency: float = 0.05,
+    lan_bandwidth: float = 125e6,
+    wan_bandwidth: float = 12.5e6,
+) -> Topology:
+    """Multi-datacenter topology (default WAN one-way latency 50 ms)."""
+    return Topology(
+        local=LinkSpec(latency=0.0, bandwidth=None),
+        intra_site=LinkSpec(latency=lan_latency, bandwidth=lan_bandwidth),
+        inter_site=LinkSpec(latency=wan_latency, bandwidth=wan_bandwidth),
+    )
+
+
+class Network:
+    """Message transport over a :class:`Topology` on a simulator."""
+
+    def __init__(self, sim, topology: Optional[Topology] = None):
+        self.sim = sim
+        self.topology = topology or lan_topology()
+        self._handlers: Dict[Address, Handler] = {}
+        self._last_arrival: Dict[Tuple[Address, Address], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        # Minimum spacing between same-link deliveries; preserves FIFO
+        # while keeping equal-latency messages effectively simultaneous.
+        self._fifo_epsilon = 1e-9
+
+    def register(self, address: Address, handler: Handler) -> None:
+        """Attach ``handler(src, message)`` as the receiver for ``address``."""
+        if address in self._handlers:
+            raise NetworkError(f"address already registered: {address!r}")
+        self._handlers[address] = handler
+
+    def unregister(self, address: Address) -> None:
+        """Detach ``address`` (e.g. to simulate a crashed node)."""
+        self._handlers.pop(address, None)
+
+    def send(self, src: Address, dst: Address, message: Any, size: int = 256) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after the link delay.
+
+        Messages to unregistered destinations are dropped (the
+        destination may have crashed); senders needing acknowledgement
+        implement it at the protocol level, exactly as on a real network.
+        """
+        spec = self.topology.link(src, dst)
+        arrival = self.sim.now + spec.transfer_time(size)
+        key = (src, dst)
+        previous = self._last_arrival.get(key)
+        if previous is not None and arrival <= previous:
+            arrival = previous + self._fifo_epsilon
+        self._last_arrival[key] = arrival
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.sim.schedule_at(arrival, self._deliver, src, dst, message)
+
+    def _deliver(self, src: Address, dst: Address, message: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is not None:
+            handler(src, message)

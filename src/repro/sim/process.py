@@ -1,0 +1,61 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the kernel resumes the generator with the event's value when it
+triggers. A process is itself an event that triggers with the generator's
+return value, so processes can wait on each other.
+
+Example::
+
+    def worker(sim, pool):
+        grant = yield pool.request()
+        yield sim.timeout(0.001)          # do 1 ms of work
+        pool.release()
+        return "done"
+
+    proc = sim.process(worker(sim, pool))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers on generator return."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator (did you call the function?)")
+        self._generator = generator
+        sim.schedule(0.0, self._step, None, True)
+
+    def _step(self, value: Any, ok: bool) -> None:
+        try:
+            if ok:
+                target = self._generator.send(value)
+            else:
+                target = self._generator.throw(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # logic error inside the process
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded non-event: {target!r}"))
+            return
+        target.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._step(event.value, bool(event.ok))

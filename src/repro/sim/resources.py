@@ -1,0 +1,81 @@
+"""Counted resources: worker pools, disk queues, CPU slots.
+
+A :class:`Resource` has integer capacity. ``request()`` returns an event
+that triggers when a slot is granted (FIFO order). The holder calls
+``release()`` when done. This mirrors SimPy's ``Resource`` but with the
+minimum surface this project needs and strictly deterministic ordering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Resource:
+    """A counted, FIFO-granted resource."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Cumulative stats for utilization reporting.
+        self.total_grants = 0
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """An event that triggers when a slot is granted to the caller."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; the longest-waiting request (if any) is granted."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._account()
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of capacity busy over ``elapsed`` time."""
+        if elapsed <= 0:
+            return 0.0
+        self._account()
+        return self._busy_time / (elapsed * self.capacity)
+
+    def _grant(self, event: Event) -> None:
+        self._account()
+        self._in_use += 1
+        self.total_grants += 1
+        event.succeed(self)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now

@@ -1,0 +1,111 @@
+"""Measurement primitives used by the benchmark harness.
+
+These are deliberately simple: counters, latency samples with exact
+percentiles, and fixed-width-bucket throughput time series (the shape
+plotted in the paper's Figure 8 checkpointing experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class LatencySample:
+    """Collects latency observations; exact percentiles on demand."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._sorted = True
+
+    def add(self, value: float) -> None:
+        self._values.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by nearest-rank; ``p`` in [0, 100]."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100.0 * len(self._values)))
+        return self._values[rank - 1]
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+
+class ThroughputSeries:
+    """Counts completions into fixed-width time buckets.
+
+    ``series(end)`` yields ``(bucket_start_time, rate_per_second)`` rows,
+    including empty buckets, so a dip (e.g. during a checkpoint) is
+    visible rather than silently skipped.
+    """
+
+    def __init__(self, bucket_width: float = 0.1):
+        if bucket_width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self.total = 0
+
+    def record(self, time: float, count: int = 1) -> None:
+        index = int(time / self.bucket_width)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.total += count
+
+    def series(self, end_time: float, start_time: float = 0.0) -> List[Tuple[float, float]]:
+        first = int(start_time / self.bucket_width)
+        last = int(end_time / self.bucket_width)
+        rows = []
+        for index in range(first, last + 1):
+            count = self._buckets.get(index, 0)
+            rows.append((index * self.bucket_width, count / self.bucket_width))
+        return rows
+
+    def rate(self, start_time: float, end_time: float) -> float:
+        """Average completions/second over ``[start_time, end_time)``."""
+        if end_time <= start_time:
+            return 0.0
+        first = int(start_time / self.bucket_width)
+        last = int(end_time / self.bucket_width)
+        total = sum(
+            count for index, count in self._buckets.items() if first <= index < last
+        )
+        return total / (end_time - start_time)

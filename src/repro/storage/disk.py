@@ -1,0 +1,94 @@
+"""Simulated disk tier for cold records (paper Section 4).
+
+The paper's key point: a deterministic system must not let a disk stall
+be discovered *after* sequencing, or every later conflicting transaction
+stalls too. Calvin's sequencer therefore predicts which transactions
+touch cold data, sends prefetch requests immediately, and defers the
+transaction by the expected fetch time. This module provides the device
+model (bounded parallelism + seek-latency distribution) and the warm
+cache that tracks which records are memory-resident.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.partition.partitioner import Key
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.config import CostModel
+    from repro.sim.kernel import Simulator
+
+
+class WarmCache:
+    """Tracks which cold-tier keys are currently memory resident (FIFO evict)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise StorageError("warm cache capacity must be >= 1 or None")
+        self.capacity = capacity
+        self._warm: "OrderedDict[Key, None]" = OrderedDict()
+        self.evictions = 0
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._warm
+
+    def __len__(self) -> int:
+        return len(self._warm)
+
+    def admit(self, key: Key) -> None:
+        if key in self._warm:
+            return
+        self._warm[key] = None
+        if self.capacity is not None and len(self._warm) > self.capacity:
+            self._warm.popitem(last=False)
+            self.evictions += 1
+
+
+class SimulatedDisk:
+    """A disk device: limited parallelism, randomized access latency."""
+
+    def __init__(self, sim: "Simulator", rng: "random.Random", costs: "CostModel"):
+        self.sim = sim
+        self._rng = rng
+        self._costs = costs
+        self._slots = Resource(sim, costs.disk_parallelism, name="disk")
+        self.fetches = 0
+        self.total_latency = 0.0
+
+    def access_latency(self) -> float:
+        """Draw one access latency from the device's distribution."""
+        jitter = self._costs.disk_latency_jitter
+        latency = self._costs.disk_latency_mean
+        if jitter > 0:
+            latency += self._rng.uniform(-jitter, jitter)
+        return max(1e-4, latency)
+
+    def expected_latency(self) -> float:
+        """Mean access latency (what a perfect estimator would predict)."""
+        return self._costs.disk_latency_mean
+
+    def fetch(self, key: Key) -> Event:
+        """An event that triggers when ``key`` has been read off the device."""
+        self.fetches += 1
+        done = Event(self.sim)
+        self.sim.process(self._fetch_process(done))
+        return done
+
+    def _fetch_process(self, done: Event):
+        yield self._slots.request()
+        latency = self.access_latency()
+        self.total_latency += latency
+        yield self.sim.timeout(latency)
+        self._slots.release()
+        done.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        return self._slots.queue_length

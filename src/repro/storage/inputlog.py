@@ -1,0 +1,70 @@
+"""The replicated input log.
+
+Calvin's durability story (paper Section 2/3): log the *transaction
+inputs* in sequence order — never the effects. Recovery replays the log
+deterministically from the latest checkpoint. One entry is one
+sequencer batch: ``(epoch, origin_partition, transactions...)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import StorageError
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True, order=True)
+class LogEntry:
+    """One sequencer batch in the global input log."""
+
+    epoch: int
+    origin_partition: int
+    txns: Tuple[Transaction, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.origin_partition < 0:
+            raise StorageError("log entry epoch/origin must be non-negative")
+
+
+class InputLog:
+    """Append-only, ordered log of sequencer batches."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+
+    def append(self, entry: LogEntry) -> None:
+        if self._entries and entry < self._entries[-1]:
+            raise StorageError(
+                f"out-of-order log append: {entry.epoch}/{entry.origin_partition} "
+                f"after {self._entries[-1].epoch}/{self._entries[-1].origin_partition}"
+            )
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    @property
+    def last_epoch(self) -> int:
+        """Highest epoch logged (-1 when empty)."""
+        return self._entries[-1].epoch if self._entries else -1
+
+    def entries_from(self, epoch: int) -> List[LogEntry]:
+        """All entries with ``entry.epoch >= epoch``."""
+        index = bisect_left(self._entries, LogEntry(epoch, 0))
+        return self._entries[index:]
+
+    def truncate_before(self, epoch: int) -> int:
+        """Drop entries older than ``epoch`` (after a checkpoint); returns count dropped."""
+        index = bisect_left(self._entries, LogEntry(epoch, 0))
+        dropped = index
+        self._entries = self._entries[index:]
+        return dropped
+
+    def total_transactions(self) -> int:
+        return sum(len(entry.txns) for entry in self._entries)

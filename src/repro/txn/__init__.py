@@ -1,0 +1,35 @@
+"""Transaction model: requests, stored procedures, execution contexts.
+
+Calvin requires a transaction's read and write sets to be known before
+it enters the sequencing layer. Transactions are therefore *requests*
+(procedure name + arguments + declared footprint), and their logic lives
+in a :class:`~repro.txn.procedures.ProcedureRegistry` shared by every
+node — replicating inputs only works because logic is deterministic and
+identical everywhere.
+
+Dependent transactions (footprint depends on data, e.g. TPC-C Delivery)
+use Optimistic Lock Location Prediction (OLLP, paper Section 3.2.1):
+a reconnaissance read computes the footprint, which is rechecked
+deterministically at execution time; on mismatch the transaction aborts
+and the client restarts it with the corrected footprint.
+"""
+
+from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
+from repro.txn.procedures import Procedure, ProcedureRegistry
+from repro.txn.context import DELETED, TxnContext
+from repro.txn.result import TransactionResult, TxnStatus
+from repro.txn.ollp import Footprint, reconnoiter
+
+__all__ = [
+    "DELETED",
+    "Footprint",
+    "GlobalSeq",
+    "Procedure",
+    "ProcedureRegistry",
+    "SequencedTxn",
+    "Transaction",
+    "TransactionResult",
+    "TxnContext",
+    "TxnStatus",
+    "reconnoiter",
+]

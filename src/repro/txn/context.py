@@ -1,0 +1,92 @@
+"""Transaction execution context.
+
+The context is what procedure logic sees: reads answered from the
+already-collected local + remote snapshot, writes buffered for atomic
+application, and the declared footprint enforced on every access.
+Determinism requirements: no wall-clock, no ambient randomness — the
+only randomness available is a per-transaction stream derived from the
+transaction id, which is identical on every replica.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.errors import FootprintViolation, TransactionAborted
+from repro.partition.partitioner import Key
+from repro.txn.transaction import Transaction
+
+
+class _Deleted:
+    """Sentinel marking a buffered delete."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<DELETED>"
+
+
+DELETED = _Deleted()
+
+
+class TxnContext:
+    """What a stored procedure gets to work with during execution."""
+
+    def __init__(self, txn: Transaction, reads: Dict[Key, Any]):
+        self.txn = txn
+        self.args = txn.args
+        self._reads = reads
+        self.writes: Dict[Key, Any] = {}
+        self._rng: Optional[random.Random] = None
+
+    def read(self, key: Key) -> Any:
+        """Value of ``key`` in the transaction's snapshot (None if absent).
+
+        Reads observe the transaction's own earlier writes
+        (read-your-writes within the transaction). A write-set key may
+        only be read *after* this transaction wrote it — reading its
+        pre-image requires declaring it in the read set too, since only
+        read-set values are shipped between participants.
+        """
+        if key in self.writes:
+            value = self.writes[key]
+            return None if value is DELETED else value
+        if key not in self.txn.read_set:
+            raise FootprintViolation(
+                f"txn {self.txn.txn_id} read outside declared read set: {key!r} "
+                "(write-set keys are readable only after being written)"
+            )
+        return self._reads.get(key)
+
+    def write(self, key: Key, value: Any) -> None:
+        """Buffer a write; applied atomically iff the transaction commits."""
+        if key not in self.txn.write_set:
+            raise FootprintViolation(
+                f"txn {self.txn.txn_id} write outside declared write set: {key!r}"
+            )
+        if value is DELETED:
+            raise FootprintViolation("use delete() to remove a key")
+        self.writes[key] = value
+
+    def delete(self, key: Key) -> None:
+        """Buffer a deletion of ``key``."""
+        if key not in self.txn.write_set:
+            raise FootprintViolation(
+                f"txn {self.txn.txn_id} delete outside declared write set: {key!r}"
+            )
+        self.writes[key] = DELETED
+
+    def abort(self, reason: str = "aborted by transaction logic") -> None:
+        """Deterministically abort; every active participant takes the
+        same branch because logic and snapshot are identical everywhere."""
+        raise TransactionAborted(reason)
+
+    @property
+    def random(self) -> random.Random:
+        """Per-transaction deterministic randomness (same on all replicas)."""
+        if self._rng is None:
+            self._rng = random.Random(self.txn.txn_id * 2654435761 % (2**31))
+        return self._rng
+
+    def snapshot(self) -> Dict[Key, Any]:
+        """A copy of the read snapshot (for checkers/tests)."""
+        return dict(self._reads)

@@ -1,0 +1,59 @@
+"""Optimistic Lock Location Prediction (paper Section 3.2.1).
+
+Dependent transactions — those whose read/write set depends on data,
+like TPC-C Delivery picking the oldest undelivered order — cannot be
+sequenced directly. OLLP handles them in two steps:
+
+1. **Reconnaissance**: an inexpensive, unsequenced read phase computes
+   the expected footprint (and records a token describing the data it
+   was derived from).
+2. **Recheck**: when the (now sequenced) transaction executes, it first
+   verifies deterministically that the footprint is still what the
+   reconnaissance predicted. If not, every participant reaches the same
+   conclusion, the transaction deterministically "aborts", and the
+   client restarts it with a fresh reconnaissance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet
+
+from repro.errors import ConfigError
+from repro.partition.partitioner import Key
+from repro.txn.procedures import Procedure
+
+ReadFn = Callable[[Key], Any]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The result of a reconnaissance pass."""
+
+    read_set: FrozenSet[Key]
+    write_set: FrozenSet[Key]
+    # Evidence for the recheck, e.g. the counter values the footprint
+    # was derived from. Must be picklable/plain data: it rides in the
+    # replicated input log.
+    token: Any = None
+
+    @staticmethod
+    def create(read_set, write_set, token: Any = None) -> "Footprint":
+        return Footprint(frozenset(read_set), frozenset(write_set), token)
+
+
+def reconnoiter(procedure: Procedure, read_fn: ReadFn, args: Any) -> Footprint:
+    """Run a procedure's reconnaissance phase against ``read_fn``.
+
+    ``read_fn`` may read *any* key (reconnaissance is unsequenced and
+    unlocked — it is allowed to see slightly stale data; staleness is
+    what the execution-time recheck protects against).
+    """
+    if procedure.reconnoiter is None:
+        raise ConfigError(f"procedure {procedure.name!r} is not dependent")
+    footprint = procedure.reconnoiter(read_fn, args)
+    if not isinstance(footprint, Footprint):
+        raise ConfigError(
+            f"reconnoiter of {procedure.name!r} must return a Footprint"
+        )
+    return footprint

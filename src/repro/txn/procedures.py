@@ -1,0 +1,97 @@
+"""Stored-procedure registry.
+
+A procedure bundles deterministic transaction logic with its CPU cost
+(worker time charged in the simulation) and, for dependent transactions,
+the OLLP reconnaissance and recheck hooks. The same registry object is
+shared by every node of a cluster — and must be shared by every replica,
+since replicas re-execute inputs rather than applying effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.txn.context import TxnContext
+    from repro.txn.ollp import Footprint
+
+Logic = Callable[["TxnContext"], Any]
+# reconnoiter(read_fn, args) -> Footprint; read_fn(key) reads a snapshot.
+Reconnoiter = Callable[[Callable[[Any], Any], Any], "Footprint"]
+# recheck(ctx) -> bool; True when the reconnoitered footprint is still valid.
+Recheck = Callable[["TxnContext"], bool]
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """Deterministic transaction logic plus its simulation cost model."""
+
+    name: str
+    logic: Logic
+    logic_cpu: float = 50e-6
+    reconnoiter: Optional[Reconnoiter] = None
+    recheck: Optional[Recheck] = None
+
+    def __post_init__(self) -> None:
+        if self.logic_cpu < 0:
+            raise ConfigError(f"procedure {self.name!r}: logic_cpu must be >= 0")
+        if (self.reconnoiter is None) != (self.recheck is None):
+            raise ConfigError(
+                f"procedure {self.name!r}: dependent procedures need both "
+                "reconnoiter and recheck (or neither)"
+            )
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.reconnoiter is not None
+
+
+class ProcedureRegistry:
+    """Name → :class:`Procedure` mapping shared by all nodes of a cluster."""
+
+    def __init__(self) -> None:
+        self._procedures: Dict[str, Procedure] = {}
+
+    def register(self, procedure: Procedure) -> Procedure:
+        if procedure.name in self._procedures:
+            raise ConfigError(f"procedure already registered: {procedure.name!r}")
+        self._procedures[procedure.name] = procedure
+        return procedure
+
+    def define(
+        self,
+        name: str,
+        logic_cpu: float = 50e-6,
+        reconnoiter: Optional[Reconnoiter] = None,
+        recheck: Optional[Recheck] = None,
+    ) -> Callable[[Logic], Logic]:
+        """Decorator form: ``@registry.define("transfer")``."""
+
+        def wrap(logic: Logic) -> Logic:
+            self.register(
+                Procedure(
+                    name=name,
+                    logic=logic,
+                    logic_cpu=logic_cpu,
+                    reconnoiter=reconnoiter,
+                    recheck=recheck,
+                )
+            )
+            return logic
+
+        return wrap
+
+    def get(self, name: str) -> Procedure:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise ConfigError(f"unknown procedure: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procedures
+
+    def names(self):
+        return sorted(self._procedures)

@@ -1,0 +1,108 @@
+"""Transaction requests and their place in the global serial order."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.partition.catalog import Catalog
+from repro.partition.partitioner import Key
+
+# Global sequence number: (epoch, origin_partition, index within batch).
+# Tuple comparison gives exactly Calvin's interleaving rule — all batches
+# of an epoch, in sequencer (origin partition) order, each in batch order.
+GlobalSeq = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transaction request: procedure + args + declared footprint.
+
+    ``read_set``/``write_set`` are the keys the logic may touch; Calvin
+    sequences and locks from these alone, so executing outside them is a
+    :class:`~repro.errors.FootprintViolation`. ``footprint_token`` carries
+    the reconnaissance evidence for dependent (OLLP) transactions.
+    """
+
+    txn_id: int
+    procedure: str
+    args: Any
+    read_set: FrozenSet[Key]
+    write_set: FrozenSet[Key]
+    origin_partition: int = 0
+    client: Any = None
+    dependent: bool = False
+    footprint_token: Any = None
+    submit_time: float = 0.0
+    restarts: int = 0
+
+    @staticmethod
+    def create(
+        txn_id: int,
+        procedure: str,
+        args: Any,
+        read_set,
+        write_set,
+        origin_partition: int = 0,
+        client: Any = None,
+        dependent: bool = False,
+        footprint_token: Any = None,
+        submit_time: float = 0.0,
+        restarts: int = 0,
+    ) -> "Transaction":
+        """Build a transaction, normalizing the footprint sets."""
+        return Transaction(
+            txn_id=txn_id,
+            procedure=procedure,
+            args=args,
+            read_set=frozenset(read_set),
+            write_set=frozenset(write_set),
+            origin_partition=origin_partition,
+            client=client,
+            dependent=dependent,
+            footprint_token=footprint_token,
+            submit_time=submit_time,
+            restarts=restarts,
+        )
+
+    def all_keys(self) -> FrozenSet[Key]:
+        return self.read_set | self.write_set
+
+    def participants(self, catalog: Catalog) -> Set[int]:
+        """Partitions holding any key this transaction touches."""
+        parts = catalog.partitions_of(self.all_keys())
+        if not parts:
+            raise ConfigError(f"transaction {self.txn_id} has an empty footprint")
+        return parts
+
+    def active_participants(self, catalog: Catalog) -> Set[int]:
+        """Partitions that execute logic and apply writes.
+
+        Write-set partitions are active. A read-only transaction has one
+        active participant (the lowest-numbered involved partition),
+        which executes the logic and produces the result.
+        """
+        writers = catalog.partitions_of(self.write_set)
+        if writers:
+            return writers
+        return {min(self.participants(catalog))}
+
+    def reply_partition(self, catalog: Catalog) -> int:
+        """The (deterministic) participant that reports the result to the client."""
+        return min(self.active_participants(catalog))
+
+    def is_multipartition(self, catalog: Catalog) -> bool:
+        return len(self.participants(catalog)) > 1
+
+
+@dataclass(frozen=True, order=True)
+class SequencedTxn:
+    """A transaction bound to its position in the global serial order."""
+
+    seq: GlobalSeq
+    txn: Transaction = field(compare=False)
+
+    @property
+    def epoch(self) -> int:
+        return self.seq[0]

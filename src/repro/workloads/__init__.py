@@ -1,0 +1,15 @@
+"""Workloads: the paper's microbenchmark and a full TPC-C-style benchmark."""
+
+from repro.workloads.base import TxnSpec, Workload
+from repro.workloads.microbenchmark import Microbenchmark
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload, ZipfGenerator
+
+__all__ = [
+    "Microbenchmark",
+    "TpccWorkload",
+    "TxnSpec",
+    "Workload",
+    "YcsbWorkload",
+    "ZipfGenerator",
+]

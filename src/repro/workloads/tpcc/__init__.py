@@ -1,0 +1,27 @@
+"""TPC-C-style workload (the paper's Section 6.1 benchmark).
+
+A faithful-in-structure adaptation of TPC-C to Calvin's key/value model:
+
+- partitioned **by warehouse** (the paper's layout); the read-only ITEM
+  table is replicated into every warehouse, again as in the paper;
+- all five transaction types: New Order and Payment are *independent*
+  (footprint known up front — order ids are assigned client-side so New
+  Order's write set is static); Order Status, Delivery and Stock Level
+  are *dependent* and go through OLLP reconnaissance;
+- New Order includes TPC-C's 1% invalid-item deterministic rollback and
+  the 10% remote-warehouse stock updates that make transactions
+  multipartition (Figure 5's "10% multi-warehouse" workload is
+  ``TpccWorkload(mix={"new_order": 1.0})``).
+
+Simplifications (documented for reviewers): customer selection is always
+by id (no last-name secondary index); history records are folded into
+customer/warehouse ytd fields; scale factors default far below TPC-C's
+(items, customers) to keep simulated stores small — all knobs are
+constructor arguments.
+"""
+
+from repro.workloads.tpcc.workload import TpccWorkload
+from repro.workloads.tpcc.loader import TpccScale, build_initial_data
+from repro.workloads.tpcc import keys
+
+__all__ = ["TpccScale", "TpccWorkload", "build_initial_data", "keys"]

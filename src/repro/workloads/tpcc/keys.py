@@ -1,0 +1,60 @@
+"""TPC-C key constructors.
+
+Every key is a tuple whose second element is the owning warehouse id, so
+warehouse-based partitioning is a lookup of ``key[1]``. Values are plain
+dicts treated as immutable: procedures always write fresh dicts, never
+mutate a read value (stores hand out references, not copies).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Key = Tuple
+
+
+def warehouse(w: int) -> Key:
+    return ("warehouse", w)
+
+
+def district(w: int, d: int) -> Key:
+    return ("district", w, d)
+
+
+def customer(w: int, d: int, c: int) -> Key:
+    return ("customer", w, d, c)
+
+
+def item(w: int, i: int) -> Key:
+    """The ITEM table is read-only and replicated per warehouse (w's copy)."""
+    return ("item", w, i)
+
+
+def stock(w: int, i: int) -> Key:
+    return ("stock", w, i)
+
+
+def order(w: int, d: int, o: int) -> Key:
+    return ("order", w, d, o)
+
+
+def order_line(w: int, d: int, o: int, number: int) -> Key:
+    return ("order_line", w, d, o, number)
+
+
+def customer_last_order(w: int, d: int, c: int) -> Key:
+    """Pointer maintained by New Order; Order Status's reconnaissance target."""
+    return ("customer_last_order", w, d, c)
+
+
+def customer_name_index(w: int, d: int, name: str) -> Key:
+    """Secondary index: last name -> sorted tuple of customer ids.
+
+    Static after load (no customer churn), maintained by the loader;
+    Payment/Order-Status by last name reconnoiter through it (TPC-C
+    2.5.2.2: pick the ceil(n/2)-th customer by that name)."""
+    return ("customer_name_idx", w, d, name)
+
+
+def warehouse_of(key: Key) -> int:
+    return key[1]

@@ -1,0 +1,200 @@
+"""The TPC-C workload driver: transaction mix and request generation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.partition.catalog import Catalog
+from repro.partition.partitioner import FuncPartitioner, Partitioner
+from repro.txn.procedures import ProcedureRegistry
+from repro.workloads.base import TxnSpec, Workload
+from repro.workloads.tpcc import keys
+from repro.workloads.tpcc.loader import (
+    TpccScale,
+    build_initial_data,
+    customer_last_name,
+)
+from repro.workloads.tpcc.procedures import register_procedures
+
+# The standard TPC-C mix (weights sum to 1).
+DEFAULT_MIX: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+
+class TpccWorkload(Workload):
+    """Generates the five TPC-C transaction types against a scaled schema."""
+
+    name = "tpcc"
+
+    def __init__(
+        self,
+        scale: Optional[TpccScale] = None,
+        mix: Optional[Dict[str, float]] = None,
+        remote_fraction: float = 0.10,
+        remote_payment_fraction: float = 0.15,
+        invalid_item_fraction: float = 0.01,
+        min_order_lines: int = 5,
+        max_order_lines: int = 15,
+        by_name_fraction: float = 0.60,
+    ):
+        self.scale = scale or TpccScale()
+        mix = dict(mix or DEFAULT_MIX)
+        total = sum(mix.values())
+        if total <= 0:
+            raise ConfigError("TPC-C mix weights must sum to a positive value")
+        unknown = set(mix) - set(DEFAULT_MIX)
+        if unknown:
+            raise ConfigError(f"unknown TPC-C transaction types in mix: {unknown}")
+        self.mix = {name: weight / total for name, weight in mix.items()}
+        if not 0 <= remote_fraction <= 1 or not 0 <= remote_payment_fraction <= 1:
+            raise ConfigError("remote fractions must be in [0, 1]")
+        if not 1 <= min_order_lines <= max_order_lines:
+            raise ConfigError("order line bounds must satisfy 1 <= min <= max")
+        if not 0 <= by_name_fraction <= 1:
+            raise ConfigError("by_name_fraction must be in [0, 1]")
+        self.remote_fraction = remote_fraction
+        self.remote_payment_fraction = remote_payment_fraction
+        self.invalid_item_fraction = invalid_item_fraction
+        self.min_order_lines = min_order_lines
+        self.max_order_lines = max_order_lines
+        # TPC-C 2.5.2.2 / 2.6.2.2: 60% of Payment and Order-Status
+        # select the customer by last name (via OLLP here).
+        self.by_name_fraction = by_name_fraction
+        # Client-side order-id assignment keeps New Order's write set
+        # static (the trick that makes it an independent transaction).
+        self._order_ids = itertools.count(1)
+
+    # -- Workload interface ---------------------------------------------------
+
+    def register(self, registry: ProcedureRegistry) -> None:
+        register_procedures(registry)
+
+    def build_partitioner(self, num_partitions: int) -> Partitioner:
+        per = self.scale.warehouses_per_partition
+        return FuncPartitioner(num_partitions, lambda key: keys.warehouse_of(key) // per)
+
+    def initial_data(self, catalog: Catalog):
+        return build_initial_data(self.scale, catalog.num_partitions)
+
+    def generate(
+        self, rng: random.Random, origin_partition: int, catalog: Catalog
+    ) -> TxnSpec:
+        scale = self.scale
+        w = (
+            origin_partition * scale.warehouses_per_partition
+            + rng.randrange(scale.warehouses_per_partition)
+        )
+        total_warehouses = scale.total_warehouses(catalog.num_partitions)
+        choice = self._pick_type(rng)
+        if choice == "new_order":
+            return self._new_order(rng, w, total_warehouses)
+        if choice == "payment":
+            return self._payment(rng, w, total_warehouses)
+        if choice == "order_status":
+            return self._order_status(rng, w)
+        if choice == "delivery":
+            return self._delivery(rng, w)
+        return self._stock_level(rng, w)
+
+    # -- per-type generators ------------------------------------------------------
+
+    def _pick_type(self, rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for name, weight in self.mix.items():
+            cumulative += weight
+            if roll < cumulative:
+                return name
+        return next(iter(self.mix))
+
+    def _other_warehouse(self, rng: random.Random, w: int, total: int) -> int:
+        other = rng.randrange(total - 1)
+        return other + 1 if other >= w else other
+
+    def _new_order(self, rng: random.Random, w: int, total_warehouses: int) -> TxnSpec:
+        scale = self.scale
+        d = rng.randrange(scale.districts_per_warehouse)
+        c = rng.randrange(scale.customers_per_district)
+        o_id = next(self._order_ids)
+        n_lines = rng.randint(self.min_order_lines, self.max_order_lines)
+
+        lines = []
+        for _ in range(n_lines):
+            item_id = rng.randrange(scale.items)
+            supply_w = w
+            if total_warehouses > 1 and rng.random() < self.remote_fraction:
+                supply_w = self._other_warehouse(rng, w, total_warehouses)
+            qty = rng.randint(1, 10)
+            lines.append((item_id, supply_w, qty))
+        if rng.random() < self.invalid_item_fraction:
+            # TPC-C 2.4.1.5: the last line references an unused item.
+            item_id, supply_w, qty = lines[-1]
+            lines[-1] = (-1, supply_w, qty)
+        lines = tuple(lines)
+
+        reads = {keys.warehouse(w), keys.district(w, d), keys.customer(w, d, c)}
+        writes = {keys.district(w, d), keys.order(w, d, o_id),
+                  keys.customer_last_order(w, d, c)}
+        for number, (item_id, supply_w, qty) in enumerate(lines):
+            reads.add(keys.item(w, item_id))
+            reads.add(keys.stock(supply_w, item_id))
+            writes.add(keys.stock(supply_w, item_id))
+            writes.add(keys.order_line(w, d, o_id, number))
+        args = {"w": w, "d": d, "c": c, "o_id": o_id, "lines": lines}
+        return TxnSpec.create("new_order", args, reads, writes)
+
+    def _random_last_name(self, rng: random.Random) -> str:
+        # Draw a name that is guaranteed to exist in the loaded data.
+        return customer_last_name(rng.randrange(self.scale.customers_per_district))
+
+    def _payment(self, rng: random.Random, w: int, total_warehouses: int) -> TxnSpec:
+        scale = self.scale
+        d = rng.randrange(scale.districts_per_warehouse)
+        c_w, c_d = w, d
+        if total_warehouses > 1 and rng.random() < self.remote_payment_fraction:
+            c_w = self._other_warehouse(rng, w, total_warehouses)
+            c_d = rng.randrange(scale.districts_per_warehouse)
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+        if rng.random() < self.by_name_fraction:
+            args = {
+                "w": w, "d": d, "c_w": c_w, "c_d": c_d,
+                "last": self._random_last_name(rng), "amount": amount,
+            }
+            return TxnSpec.create("payment_by_name", args, (), (), dependent=True)
+        c = rng.randrange(scale.customers_per_district)
+        args = {"w": w, "d": d, "c_w": c_w, "c_d": c_d, "c": c, "amount": amount}
+        footprint = {keys.warehouse(w), keys.district(w, d), keys.customer(c_w, c_d, c)}
+        return TxnSpec.create("payment", args, footprint, footprint)
+
+    def _order_status(self, rng: random.Random, w: int) -> TxnSpec:
+        scale = self.scale
+        d = rng.randrange(scale.districts_per_warehouse)
+        if rng.random() < self.by_name_fraction:
+            args = {"w": w, "d": d, "last": self._random_last_name(rng)}
+            return TxnSpec.create("order_status_by_name", args, (), (), dependent=True)
+        args = {"w": w, "d": d, "c": rng.randrange(scale.customers_per_district)}
+        return TxnSpec.create("order_status", args, (), (), dependent=True)
+
+    def _delivery(self, rng: random.Random, w: int) -> TxnSpec:
+        args = {
+            "w": w,
+            "districts": self.scale.districts_per_warehouse,
+            "carrier": rng.randint(1, 10),
+        }
+        return TxnSpec.create("delivery", args, (), (), dependent=True)
+
+    def _stock_level(self, rng: random.Random, w: int) -> TxnSpec:
+        args = {
+            "w": w,
+            "d": rng.randrange(self.scale.districts_per_warehouse),
+            "threshold": rng.randint(10, 20),
+        }
+        return TxnSpec.create("stock_level", args, (), (), dependent=True)

@@ -1,0 +1,44 @@
+"""Tests for the benchmark harness plumbing (not the experiments)."""
+
+import pytest
+
+from repro.bench.harness import ScaleProfile, machine_sweep
+from repro.config import BaselineConfig
+from repro.errors import ConfigError
+
+
+class TestScaleProfile:
+    def test_known_profiles(self):
+        for name in ("smoke", "quick", "full"):
+            profile = ScaleProfile.get(name)
+            assert profile.name == name
+            assert profile.duration > 0
+            assert profile.clients_per_partition > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            ScaleProfile.get("warp")
+
+    def test_machine_sweep_clipped(self):
+        profile = ScaleProfile.get("smoke")
+        machines = machine_sweep(profile, targets=(1, 2, 4, 8, 16))
+        assert machines
+        assert max(machines) <= profile.max_machines
+
+    def test_scales_ordered_by_effort(self):
+        smoke, quick, full = (ScaleProfile.get(n) for n in ("smoke", "quick", "full"))
+        assert smoke.duration < quick.duration < full.duration
+        assert smoke.max_machines <= quick.max_machines <= full.max_machines
+
+
+class TestBaselineConfig:
+    def test_defaults_valid(self):
+        BaselineConfig().validate()
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigError):
+            BaselineConfig(retry_backoff=-1).validate()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            BaselineConfig(max_retries=-1).validate()

@@ -1,0 +1,139 @@
+"""Tests for the CalvinDB synchronous facade."""
+
+import pytest
+
+from repro import (
+    CalvinDB,
+    ConfigError,
+    Footprint,
+    TxnStatus,
+)
+
+
+class TestBasicExecution:
+    def test_single_partition_commit(self, bank_db):
+        result = bank_db.execute(
+            "transfer", (("acct", 0, 0), ("acct", 0, 1), 30),
+            read_set=[("acct", 0, 0), ("acct", 0, 1)],
+            write_set=[("acct", 0, 0), ("acct", 0, 1)],
+        )
+        assert result.status is TxnStatus.COMMITTED
+        assert result.value == 70
+        assert bank_db.get(("acct", 0, 0)) == 70
+        assert bank_db.get(("acct", 0, 1)) == 130
+
+    def test_multipartition_commit(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 1, 0)]
+        result = bank_db.execute(
+            "transfer", (keys[0], keys[1], 25), read_set=keys, write_set=keys
+        )
+        assert result.committed
+        assert bank_db.get(("acct", 0, 0)) == 75
+        assert bank_db.get(("acct", 1, 0)) == 125
+
+    def test_logic_abort_rolls_back(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 1, 0)]
+        result = bank_db.execute(
+            "transfer", (keys[0], keys[1], 10_000), read_set=keys, write_set=keys
+        )
+        assert result.status is TxnStatus.ABORTED
+        assert result.value == "insufficient funds"
+        assert bank_db.get(("acct", 0, 0)) == 100
+        assert bank_db.get(("acct", 1, 0)) == 100
+
+    def test_latency_includes_epoch_wait(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        result = bank_db.execute("transfer", (keys[0], keys[1], 1),
+                                 read_set=keys, write_set=keys)
+        # One 10ms epoch boundary plus execution.
+        assert 0.001 < result.latency < 0.05
+
+    def test_sequential_executions_accumulate(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        for _ in range(3):
+            bank_db.execute("transfer", (keys[0], keys[1], 10),
+                            read_set=keys, write_set=keys)
+        assert bank_db.get(("acct", 0, 0)) == 70
+
+    def test_empty_footprint_rejected(self, bank_db):
+        with pytest.raises(ConfigError):
+            bank_db.execute("transfer", None)
+
+    def test_unknown_procedure_rejected(self, bank_db):
+        with pytest.raises(ConfigError):
+            bank_db.execute("nope", None, read_set=[("acct", 0, 0)])
+
+
+class TestProcedureDecorator:
+    def test_define_and_run(self):
+        db = CalvinDB(num_partitions=1)
+
+        @db.procedure("touch")
+        def touch(ctx):
+            ctx.write("k", "v")
+            return "ok"
+
+        result = db.execute("touch", None, read_set=[], write_set=["k"])
+        assert result.committed
+        assert db.get("k") == "v"
+
+    def test_footprint_violation_surfaces(self):
+        db = CalvinDB(num_partitions=1)
+
+        @db.procedure("sneaky")
+        def sneaky(ctx):
+            ctx.write("undeclared", 1)
+
+        from repro.errors import FootprintViolation
+
+        with pytest.raises(FootprintViolation):
+            db.execute("sneaky", None, read_set=["declared"], write_set=["declared"])
+
+
+class TestDependentExecution:
+    def make_db(self):
+        db = CalvinDB(num_partitions=2, seed=1)
+
+        def recon(read_fn, args):
+            target = read_fn("pointer")
+            return Footprint.create(
+                {"pointer", target}, {target}, token=target
+            )
+
+        def recheck(ctx):
+            return ctx.read("pointer") == ctx.txn.footprint_token
+
+        @db.procedure("chase", reconnoiter=recon, recheck=recheck)
+        def chase(ctx):
+            target = ctx.read("pointer")
+            ctx.write(target, (ctx.read(target) or 0) + 1)
+            return target
+
+        db.load({"pointer": "cell-a", "cell-a": 0, "cell-b": 0})
+        return db
+
+    def test_dependent_executes_via_reconnaissance(self):
+        db = self.make_db()
+        result = db.execute_dependent("chase")
+        assert result.committed
+        assert result.value == "cell-a"
+        assert db.get("cell-a") == 1
+
+    def test_execute_routes_dependent(self):
+        db = self.make_db()
+        result = db.execute("chase", read_set=["ignored"], write_set=[])
+        assert result.committed
+
+    def test_dependent_on_independent_rejected(self, bank_db):
+        with pytest.raises(ConfigError):
+            bank_db.execute_dependent("transfer")
+
+    def test_now_advances(self, bank_db):
+        before = bank_db.now
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        bank_db.execute("transfer", (keys[0], keys[1], 1), read_set=keys, write_set=keys)
+        assert bank_db.now > before
+
+    def test_final_state_contains_all_keys(self, bank_db):
+        state = bank_db.final_state()
+        assert len(state) == 4

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import ascii_chart
+from repro.bench.reporting import ExperimentResult
+from repro.errors import ConfigError
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment="X", title="demo", headers=("machines", "txn/s", "p99 ms")
+    )
+    result.add_row(1, 100.0, 5.0)
+    result.add_row(2, 200.0, 6.0)
+    result.add_row(4, 400.0, 8.0)
+    return result
+
+
+class TestAsciiChart:
+    def test_contains_labels_and_values(self):
+        chart = ascii_chart(make_result())
+        assert "demo" in chart
+        assert "400" in chart
+        assert "|" in chart
+
+    def test_bars_scale_with_values(self):
+        chart = ascii_chart(make_result(), value_headers=["txn/s"], width=40)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        bar_lengths = [line.split("|")[1].rstrip().count("█") for line in lines]
+        assert bar_lengths == [10, 20, 40]
+
+    def test_multiple_series_distinct_fills(self):
+        chart = ascii_chart(make_result(), width=20)
+        assert "█" in chart and "▓" in chart
+
+    def test_default_label_is_first_column(self):
+        chart = ascii_chart(make_result(), value_headers=["txn/s"])
+        assert " 1 " in chart or "1 |" in chart
+
+    def test_empty_result_rejected(self):
+        empty = ExperimentResult(experiment="X", title="t", headers=("a",))
+        with pytest.raises(ConfigError):
+            ascii_chart(empty)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_chart(make_result(), value_headers=["nope"])
+        with pytest.raises(ConfigError):
+            ascii_chart(make_result(), label_header="nope")
+
+    def test_non_numeric_columns_skipped(self):
+        result = ExperimentResult(
+            experiment="X", title="t", headers=("mode", "txn/s")
+        )
+        result.add_row("paxos", 10.0)
+        chart = ascii_chart(result)
+        assert "paxos" in chart
+
+    def test_no_numeric_columns_rejected(self):
+        result = ExperimentResult(experiment="X", title="t", headers=("a", "b"))
+        result.add_row("x", "y")
+        with pytest.raises(ConfigError):
+            ascii_chart(result)
+
+    def test_zero_values_ok(self):
+        result = ExperimentResult(experiment="X", title="t", headers=("a", "v"))
+        result.add_row(1, 0.0)
+        chart = ascii_chart(result)
+        assert "0.0" in chart
+
+    def test_cli_chart_flag_degrades_on_text_tables(self, capsys):
+        from repro.cli import main
+
+        # e7's table is all text; --chart must not crash the run.
+        assert main(["run", "e7-recovery", "--scale", "smoke", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "not chartable" in out

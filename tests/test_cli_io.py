@@ -1,0 +1,96 @@
+"""Tests for the CLI and experiment persistence."""
+
+import json
+
+import pytest
+
+from repro.bench.io import (
+    load_json,
+    result_from_dict,
+    result_to_dict,
+    save_csv,
+    save_json,
+)
+from repro.bench.reporting import ExperimentResult
+from repro.cli import EXPERIMENTS, build_parser, cmd_experiments, main
+from repro.errors import ConfigError
+
+
+def sample_result():
+    result = ExperimentResult(
+        experiment="X", title="demo", headers=("a", "b"), notes="n"
+    )
+    result.add_row(1, 2.5)
+    result.add_row(3, 4.0)
+    return result
+
+
+class TestIo:
+    def test_round_trip_dict(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert [list(row) for row in restored.rows] == [[1, 2.5], [3, 4.0]]
+        assert restored.title == "demo"
+        assert restored.notes == "n"
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = save_json(sample_result(), tmp_path / "out" / "r.json")
+        restored = load_json(path)
+        assert restored.experiment == "X"
+        assert restored.column("a") == [1, 3]
+
+    def test_csv_file(self, tmp_path):
+        path = save_csv(sample_result(), tmp_path / "r.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            result_from_dict({"experiment": "x"})
+
+    def test_wrong_version_rejected(self):
+        payload = result_to_dict(sample_result())
+        payload["format_version"] = 99
+        with pytest.raises(ConfigError):
+            result_from_dict(payload)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig7", "--scale", "smoke", "--seed", "7"])
+        assert args.experiment == "fig7"
+        assert args.scale == "smoke"
+        assert args.seed == 7
+
+    def test_every_experiment_module_importable(self):
+        import importlib
+
+        for name, module_path in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert callable(module.run), name
+
+    def test_experiments_listing(self, capsys):
+        assert cmd_experiments() == 0
+        output = capsys.readouterr().out
+        assert "fig7" in output and "e7-recovery" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "experiments" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        assert "committed" in capsys.readouterr().out
+
+    def test_run_writes_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "r.json"
+        csv_path = tmp_path / "r.csv"
+        code = main([
+            "run", "e7-recovery", "--scale", "smoke",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert json.loads(json_path.read_text())["experiment"].startswith("E7")
+        assert csv_path.exists()

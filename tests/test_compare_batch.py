@@ -1,0 +1,120 @@
+"""Tests for execute_many batching and the result-comparison tool."""
+
+import pytest
+
+from repro import CalvinDB, ConfigError
+from repro.bench.compare import compare_files, compare_results
+from repro.bench.io import save_json
+from repro.bench.reporting import ExperimentResult
+
+
+class TestExecuteMany:
+    def make_db(self):
+        db = CalvinDB(num_partitions=2, seed=9)
+
+        @db.procedure("inc")
+        def inc(ctx):
+            key = ctx.args
+            value = (ctx.read(key) or 0) + 1
+            ctx.write(key, value)
+            return value
+
+        db.load({f"k{i}": 0 for i in range(20)})
+        return db
+
+    def test_results_in_request_order(self):
+        db = self.make_db()
+        requests = [("inc", f"k{i}", [f"k{i}"], [f"k{i}"]) for i in range(8)]
+        results = db.execute_many(requests)
+        assert len(results) == 8
+        assert all(r.committed for r in results)
+        assert all(db.get(f"k{i}") == 1 for i in range(8))
+
+    def test_pipelines_through_one_epoch(self):
+        db = self.make_db()
+        start = db.now
+        requests = [("inc", f"k{i}", [f"k{i}"], [f"k{i}"]) for i in range(10)]
+        db.execute_many(requests)
+        elapsed = db.now - start
+        # 10 independent txns share epochs: far less than 10 x 10ms.
+        assert elapsed < 0.05
+
+    def test_conflicting_requests_apply_in_order(self):
+        db = self.make_db()
+        results = db.execute_many(
+            [("inc", "k0", ["k0"], ["k0"]) for _ in range(5)]
+        )
+        assert [r.value for r in results] == [1, 2, 3, 4, 5]
+
+    def test_rejects_dependent(self):
+        from repro.txn.ollp import Footprint
+
+        db = self.make_db()
+
+        def recon(read_fn, args):
+            return Footprint.create(["k0"], [], token=None)
+
+        db.procedure("dep", reconnoiter=recon, recheck=lambda ctx: True)(
+            lambda ctx: None
+        )
+        with pytest.raises(ConfigError):
+            db.execute_many([("dep", None, ["k0"], [])])
+
+    def test_rejects_empty_footprint(self):
+        db = self.make_db()
+        with pytest.raises(ConfigError):
+            db.execute_many([("inc", "k0", [], [])])
+
+
+def make_result(values):
+    result = ExperimentResult(
+        experiment="X", title="t", headers=("machines", "txn/s", "mode")
+    )
+    for index, value in enumerate(values):
+        result.add_row(2 ** index, value, "calvin")
+    return result
+
+
+class TestCompare:
+    def test_no_change_is_ok(self):
+        comparison = compare_results(make_result([100.0]), make_result([100.0]))
+        assert comparison.ok
+        assert comparison.deltas[0].relative == 0.0
+
+    def test_small_drift_within_threshold(self):
+        comparison = compare_results(make_result([100.0]), make_result([105.0]))
+        assert comparison.ok
+
+    def test_regression_flagged(self):
+        comparison = compare_results(make_result([100.0]), make_result([70.0]))
+        assert not comparison.ok
+        assert comparison.regressions[0].relative == pytest.approx(-0.3)
+
+    def test_non_numeric_columns_ignored(self):
+        comparison = compare_results(make_result([100.0]), make_result([100.0]))
+        assert all(d.column != "mode" for d in comparison.deltas)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_results(make_result([1.0]), make_result([1.0, 2.0]))
+
+    def test_compare_files_and_cli(self, tmp_path, capsys):
+        old = save_json(make_result([100.0, 200.0]), tmp_path / "old.json")
+        new = save_json(make_result([102.0, 150.0]), tmp_path / "new.json")
+        comparison = compare_files(old, new)
+        assert not comparison.ok  # 200 -> 150 is -25%
+
+        from repro.cli import main
+
+        code = main(["compare", str(old), str(new)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_cli_ok_exit_zero(self, tmp_path, capsys):
+        old = save_json(make_result([100.0]), tmp_path / "old.json")
+        new = save_json(make_result([101.0]), tmp_path / "new.json")
+        from repro.cli import main
+
+        assert main(["compare", str(old), str(new)]) == 0
+        assert "OK" in capsys.readouterr().out

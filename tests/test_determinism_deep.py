@@ -1,0 +1,54 @@
+"""Deep determinism: identical runs are identical at the event level."""
+
+import pytest
+
+from repro import CalvinCluster, ClusterConfig, Microbenchmark, TpccWorkload
+
+
+def build_and_run(seed=33, workload_factory=None):
+    factory = workload_factory or (
+        lambda: Microbenchmark(mp_fraction=0.3, hot_set_size=10, cold_set_size=100)
+    )
+    cluster = CalvinCluster(
+        ClusterConfig(num_partitions=2, seed=seed), workload=factory()
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(6, max_txns=15)
+    cluster.run(duration=0.2)
+    cluster.quiesce()
+    return cluster
+
+
+class TestEventLevelDeterminism:
+    def test_event_counts_identical(self):
+        a, b = build_and_run(), build_and_run()
+        assert a.sim.events_executed == b.sim.events_executed
+        assert a.sim.now == b.sim.now
+
+    def test_network_traffic_identical(self):
+        a, b = build_and_run(), build_and_run()
+        assert a.network.messages_sent == b.network.messages_sent
+        assert a.network.bytes_sent == b.network.bytes_sent
+
+    def test_metrics_identical(self):
+        a, b = build_and_run(), build_and_run()
+        assert a.metrics.committed == b.metrics.committed
+        assert a.metrics.latency.mean == b.metrics.latency.mean
+        assert a.metrics.throughput.total == b.metrics.throughput.total
+
+    def test_input_logs_identical(self):
+        a, b = build_and_run(), build_and_run()
+        assert a.merged_log() == b.merged_log()
+
+    def test_tpcc_runs_identical(self):
+        def factory():
+            return TpccWorkload()
+
+        a = build_and_run(seed=44, workload_factory=factory)
+        b = build_and_run(seed=44, workload_factory=factory)
+        assert a.final_state() == b.final_state()
+        assert a.metrics.restarts == b.metrics.restarts
+
+    def test_node_stats_identical(self):
+        a, b = build_and_run(), build_and_run()
+        assert a.node_stats() == b.node_stats()

@@ -1,0 +1,54 @@
+"""The shipped examples must keep running (they are self-checking)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "transfer: committed" in out
+    assert "FootprintViolation" in out
+
+
+def test_bank_cluster(capsys):
+    run_example("bank_cluster.py")
+    out = capsys.readouterr().out
+    assert "money conserved" in out and "True" in out
+    assert "serializability verified" in out
+
+
+def test_tpcc_demo(capsys):
+    run_example("tpcc_demo.py")
+    out = capsys.readouterr().out
+    assert "serializability verified" in out
+    assert "OLLP restarts" in out
+
+
+def test_disaster_recovery(capsys):
+    run_example("disaster_recovery.py")
+    out = capsys.readouterr().out
+    assert "recovered state identical to pre-crash state: True" in out
+
+
+@pytest.mark.slow
+def test_georeplication(capsys):
+    run_example("georeplication.py")
+    out = capsys.readouterr().out
+    assert "all three replicas byte-identical: True" in out
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py")
+    out = capsys.readouterr().out
+    assert "serializable over" in out
+    assert "celebrity-set size" in out

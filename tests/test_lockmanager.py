@@ -1,0 +1,134 @@
+"""Unit tests for Calvin's deterministic lock manager."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduler import DeterministicLockManager
+from repro.txn.transaction import SequencedTxn, Transaction
+
+
+def stxn(seq, txn_id=None):
+    txn = Transaction.create(txn_id or seq[2] + 1, "p", None, [("k", 0)], [("k", 0)])
+    return SequencedTxn(seq, txn)
+
+
+@pytest.fixture
+def manager():
+    ready = []
+    lm = DeterministicLockManager(ready.append)
+    return lm, ready
+
+
+class TestGrantRules:
+    def test_uncontended_immediate(self, manager):
+        lm, ready = manager
+        t = stxn((0, 0, 0))
+        assert lm.acquire(t, ["a"], ["b"]) is True
+        assert ready == [t]
+        assert lm.immediate_grants == 1
+
+    def test_write_blocks_write(self, manager):
+        lm, ready = manager
+        first, second = stxn((0, 0, 0)), stxn((0, 0, 1))
+        lm.acquire(first, [], ["k"])
+        assert lm.acquire(second, [], ["k"]) is False
+        assert ready == [first]
+        lm.release(first)
+        assert ready == [first, second]
+
+    def test_readers_share(self, manager):
+        lm, ready = manager
+        readers = [stxn((0, 0, i)) for i in range(3)]
+        for reader in readers:
+            assert lm.acquire(reader, ["k"], []) is True
+        assert ready == readers
+
+    def test_writer_waits_for_readers(self, manager):
+        lm, ready = manager
+        r1, r2, w = stxn((0, 0, 0)), stxn((0, 0, 1)), stxn((0, 0, 2))
+        lm.acquire(r1, ["k"], [])
+        lm.acquire(r2, ["k"], [])
+        assert lm.acquire(w, [], ["k"]) is False
+        lm.release(r1)
+        assert w not in ready
+        lm.release(r2)
+        assert ready[-1] is w
+
+    def test_reader_behind_writer_waits(self, manager):
+        lm, ready = manager
+        w, r = stxn((0, 0, 0)), stxn((0, 0, 1))
+        lm.acquire(w, [], ["k"])
+        assert lm.acquire(r, ["k"], []) is False
+        lm.release(w)
+        assert r in ready
+
+    def test_reader_prefix_granted_on_release(self, manager):
+        lm, ready = manager
+        w, r1, r2, w2 = (stxn((0, 0, i)) for i in range(4))
+        lm.acquire(w, [], ["k"])
+        lm.acquire(r1, ["k"], [])
+        lm.acquire(r2, ["k"], [])
+        lm.acquire(w2, [], ["k"])
+        lm.release(w)
+        assert r1 in ready and r2 in ready and w2 not in ready
+
+    def test_read_write_same_key_single_write_lock(self, manager):
+        lm, ready = manager
+        t1, t2 = stxn((0, 0, 0)), stxn((0, 0, 1))
+        lm.acquire(t1, ["k"], ["k"])
+        assert lm.acquire(t2, ["k"], []) is False
+
+    def test_multi_key_all_required(self, manager):
+        lm, ready = manager
+        holder = stxn((0, 0, 0))
+        lm.acquire(holder, [], ["a"])
+        waiter = stxn((0, 0, 1))
+        assert lm.acquire(waiter, [], ["a", "b"]) is False
+        lm.release(holder)
+        assert waiter in ready
+
+
+class TestDeterminismInvariants:
+    def test_out_of_order_acquire_rejected(self, manager):
+        lm, _ = manager
+        lm.acquire(stxn((0, 1, 0)), ["k"], [])
+        with pytest.raises(SchedulerError):
+            lm.acquire(stxn((0, 0, 0)), ["k2"], [])
+
+    def test_duplicate_seq_rejected(self, manager):
+        lm, _ = manager
+        lm.acquire(stxn((0, 0, 0)), ["k"], [])
+        with pytest.raises(SchedulerError):
+            lm.acquire(stxn((0, 0, 0)), ["k2"], [])
+
+    def test_empty_lock_request_rejected(self, manager):
+        lm, _ = manager
+        with pytest.raises(SchedulerError):
+            lm.acquire(stxn((0, 0, 0)), [], [])
+
+    def test_release_unknown_rejected(self, manager):
+        lm, _ = manager
+        with pytest.raises(SchedulerError):
+            lm.release(stxn((0, 0, 0)))
+
+    def test_ready_in_sequence_order_after_release(self, manager):
+        lm, ready = manager
+        holder = stxn((0, 0, 0))
+        lm.acquire(holder, [], ["a", "b"])
+        later = stxn((0, 0, 1))
+        lm.acquire(later, [], ["b"])
+        earlier_epoch = stxn((1, 0, 0))
+        lm.acquire(earlier_epoch, [], ["a"])
+        ready.clear()
+        lm.release(holder)
+        assert ready == [later, earlier_epoch]
+
+    def test_active_txn_accounting(self, manager):
+        lm, _ = manager
+        t = stxn((0, 0, 0))
+        lm.acquire(t, ["a"], ["b"])
+        assert lm.active_txns == 1
+        assert lm.waiters_on("a") == 1
+        lm.release(t)
+        assert lm.active_txns == 0
+        assert lm.waiters_on("a") == 0

@@ -1,0 +1,127 @@
+"""Tests for metrics collection and experiment reporting."""
+
+import pytest
+
+from repro.bench import ExperimentResult, format_table
+from repro.core.metrics import Metrics
+from repro.txn.result import TransactionResult, TxnStatus
+
+
+def make_result(status, txn_id=1, submit=0.0, complete=0.01):
+    return TransactionResult(
+        txn_id=txn_id, status=status, submit_time=submit, complete_time=complete
+    )
+
+
+class TestMetrics:
+    def test_committed_counted(self):
+        metrics = Metrics()
+        metrics.record_completion("p", make_result(TxnStatus.COMMITTED), now=0.01)
+        assert metrics.committed == 1
+        assert metrics.per_procedure == {"p": 1}
+
+    def test_aborted_and_restarts(self):
+        metrics = Metrics()
+        metrics.record_completion("p", make_result(TxnStatus.ABORTED), now=0.01)
+        metrics.record_completion("p", make_result(TxnStatus.RESTART), now=0.02)
+        assert metrics.aborted == 1
+        assert metrics.restarts == 1
+        assert metrics.committed == 0
+
+    def test_report_rates_within_window(self):
+        metrics = Metrics(bucket_width=0.01)
+        for i in range(100):
+            metrics.record_completion(
+                "p", make_result(TxnStatus.COMMITTED, txn_id=i), now=i * 0.01
+            )
+        metrics.begin_window(0.5)
+        report = metrics.report(now=1.0)
+        assert report.throughput == pytest.approx(100.0, rel=0.1)
+        assert report.committed == 100
+
+    def test_latency_percentiles_in_report(self):
+        metrics = Metrics()
+        for latency in (0.01, 0.02, 0.03):
+            metrics.record_latency(latency)
+        report = metrics.report(now=1.0)
+        assert report.latency_p50 == 0.02
+        assert report.latency_mean == pytest.approx(0.02)
+
+    def test_result_latency(self):
+        result = make_result(TxnStatus.COMMITTED, submit=1.0, complete=1.5)
+        assert result.latency == pytest.approx(0.5)
+        assert result.committed
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(
+            experiment="X", title="demo", headers=("a", "b txn/s")
+        )
+        result.add_row(1, 1234.5)
+        result.add_row(2, 7.25)
+        return result
+
+    def test_row_arity_checked(self):
+        result = self.make()
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_access(self):
+        assert self.make().column("a") == [1, 2]
+
+    def test_as_dicts(self):
+        rows = self.make().as_dicts()
+        assert rows[0] == {"a": 1, "b txn/s": 1234.5}
+
+    def test_format_table_contains_everything(self):
+        text = format_table(self.make())
+        assert "X: demo" in text
+        assert "1,234" in text or "1,235" in text
+        assert "7.250" in text
+
+    def test_str_is_table(self):
+        assert "demo" in str(self.make())
+
+    def test_float_formatting_ranges(self):
+        result = ExperimentResult(experiment="F", title="fmt", headers=("v",))
+        result.add_row(0.0)
+        result.add_row(12.3456)
+        result.add_row(123456.0)
+        text = str(result)
+        assert "12.3" in text
+        assert "123,456" in text
+
+
+class TestLatencyBreakdown:
+    def test_breakdown_properties(self):
+        result = TransactionResult(
+            txn_id=1, status=TxnStatus.COMMITTED,
+            submit_time=1.0, granted_time=1.008, complete_time=1.010,
+        )
+        assert result.sequencing_latency == pytest.approx(0.008)
+        assert result.execution_latency == pytest.approx(0.002)
+        assert (
+            result.sequencing_latency + result.execution_latency
+            == pytest.approx(result.latency)
+        )
+
+    def test_breakdown_aggregated_in_report(self):
+        metrics = Metrics()
+        result = TransactionResult(
+            txn_id=1, status=TxnStatus.COMMITTED,
+            submit_time=0.0, granted_time=0.006, complete_time=0.007,
+        )
+        metrics.record_completion("p", result, now=0.007)
+        report = metrics.report(now=1.0)
+        assert report.sequencing_mean == pytest.approx(0.006)
+        assert report.execution_mean == pytest.approx(0.001)
+
+    def test_breakdown_through_full_stack(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        bank_db.execute("transfer", (keys[0], keys[1], 1),
+                        read_set=keys, write_set=keys)
+        report = bank_db.cluster.metrics.report(bank_db.now)
+        # Sequencing (epoch wait) dominates a single uncontended txn.
+        assert report.sequencing_mean > report.execution_mean
+        assert report.sequencing_mean > 0.001

@@ -1,0 +1,133 @@
+"""Unit tests for partitioning and the cluster catalog."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.partition import (
+    Catalog,
+    FuncPartitioner,
+    HashPartitioner,
+    NodeId,
+    client_address,
+    node_address,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("stock", 3, 7)) == stable_hash(("stock", 3, 7))
+
+    def test_spreads_values(self):
+        buckets = {stable_hash(("k", i)) % 8 for i in range(100)}
+        assert len(buckets) == 8
+
+
+class TestPartitioners:
+    def test_hash_in_range(self):
+        partitioner = HashPartitioner(4)
+        for i in range(50):
+            assert 0 <= partitioner.partition_of(("key", i)) < 4
+
+    def test_hash_roughly_uniform(self):
+        partitioner = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[partitioner.partition_of(("key", i))] += 1
+        assert min(counts) > 700
+
+    def test_func_partitioner_modulo(self):
+        partitioner = FuncPartitioner(4, lambda key: key[1])
+        assert partitioner.partition_of(("x", 6)) == 2
+        assert partitioner.partition_of(("x", 1)) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            HashPartitioner(0)
+
+
+class TestCatalog:
+    def make(self, partitions=3, replicas=2):
+        config = ClusterConfig(
+            num_partitions=partitions,
+            num_replicas=replicas,
+            replication_mode="async" if replicas > 1 else "none",
+        )
+        return Catalog(config, HashPartitioner(partitions))
+
+    def test_partition_count_must_match(self):
+        config = ClusterConfig(num_partitions=3)
+        with pytest.raises(ConfigError):
+            Catalog(config, HashPartitioner(2))
+
+    def test_nodes_enumeration(self):
+        catalog = self.make(partitions=2, replicas=2)
+        nodes = list(catalog.nodes())
+        assert len(nodes) == 4
+        assert nodes[0] == NodeId(0, 0)
+        assert nodes[-1] == NodeId(1, 1)
+
+    def test_nodes_of_replica(self):
+        catalog = self.make()
+        assert [n.partition for n in catalog.nodes_of_replica(1)] == [0, 1, 2]
+        assert all(n.replica == 1 for n in catalog.nodes_of_replica(1))
+
+    def test_replicas_of_partition(self):
+        catalog = self.make()
+        group = catalog.replicas_of_partition(2)
+        assert [n.replica for n in group] == [0, 1]
+        assert all(n.partition == 2 for n in group)
+
+    def test_partitions_of_keys(self):
+        catalog = self.make()
+        keys = [("k", i) for i in range(40)]
+        partitions = catalog.partitions_of(keys)
+        assert partitions <= {0, 1, 2}
+        assert len(partitions) > 1
+
+
+class TestAddresses:
+    def test_node_address(self):
+        assert node_address(NodeId(1, 2)) == ("node", 1, 2)
+
+    def test_client_address(self):
+        assert client_address(0, 7) == ("client", 0, 7)
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        ClusterConfig().validate()
+
+    def test_replicas_need_replication(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_replicas=2).validate()
+
+    def test_paxos_needs_two_replicas(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(replication_mode="paxos").validate()
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(replication_mode="gossip").validate()
+
+    def test_with_changes_validates(self):
+        config = ClusterConfig()
+        with pytest.raises(ConfigError):
+            config.with_changes(num_partitions=0)
+
+    def test_with_changes_copies(self):
+        config = ClusterConfig()
+        changed = config.with_changes(num_partitions=7)
+        assert changed.num_partitions == 7
+        assert config.num_partitions != 7
+
+    def test_num_nodes(self):
+        config = ClusterConfig(num_partitions=3, num_replicas=2, replication_mode="async")
+        assert config.num_nodes == 6
+
+    def test_cost_model_validation(self):
+        from repro.config import CostModel
+
+        with pytest.raises(ConfigError):
+            ClusterConfig(costs=CostModel(read_cpu=-1)).validate()

@@ -1,0 +1,159 @@
+"""Unit tests for Multi-Paxos over the simulated network."""
+
+import pytest
+
+from repro.errors import PaxosError
+from repro.sim import Network, Simulator, wan_topology
+from repro.paxos import PaxosParticipant
+
+
+class PaxosHarness:
+    """Three participants on a WAN, delivering through the network."""
+
+    def __init__(self, members=3, wan_latency=0.05, leader=0):
+        self.sim = Simulator()
+        topology = wan_topology(wan_latency=wan_latency)
+        for member in range(members):
+            topology.place(("paxos", member), site=member)
+        self.network = Network(self.sim, topology)
+        self.decided = {member: [] for member in range(members)}
+        self.participants = {}
+        group = list(range(members))
+        for member in group:
+            self.network.register(
+                ("paxos", member), self._make_handler(member)
+            )
+        for member in group:
+            self.participants[member] = PaxosParticipant(
+                sim=self.sim,
+                member_id=member,
+                group=group,
+                send=self._make_send(member),
+                on_decide=self._make_decide(member),
+                is_initial_leader=(member == leader),
+            )
+
+    def _make_send(self, member):
+        def send(dst, message):
+            self.network.send(("paxos", member), ("paxos", dst), message,
+                              message.size_estimate())
+        return send
+
+    def _make_handler(self, member):
+        def handler(src, message):
+            self.participants[member].handle(src[1], message)
+        return handler
+
+    def _make_decide(self, member):
+        def decide(instance, value):
+            self.decided[member].append((instance, value))
+        return decide
+
+
+class TestSingleLeader:
+    def test_one_value_chosen_everywhere(self):
+        harness = PaxosHarness()
+        harness.participants[0].propose("v0")
+        harness.sim.run(until=1.0)
+        for member in range(3):
+            assert harness.decided[member] == [(0, "v0")]
+
+    def test_values_delivered_in_order(self):
+        harness = PaxosHarness()
+        for index in range(5):
+            harness.participants[0].propose(f"v{index}")
+        harness.sim.run(until=2.0)
+        expected = [(i, f"v{i}") for i in range(5)]
+        for member in range(3):
+            assert harness.decided[member] == expected
+
+    def test_pipelining_throughput(self):
+        # 20 proposals at 10ms spacing over a 50ms WAN: with pipelining,
+        # all decide within ~latency + 20*spacing, not 20*RTT.
+        harness = PaxosHarness()
+        for index in range(20):
+            harness.sim.schedule(index * 0.01, harness.participants[0].propose, index)
+        harness.sim.run(until=0.01 * 20 + 0.3)
+        assert len(harness.decided[0]) == 20
+        assert len(harness.decided[2]) == 20
+
+    def test_latency_one_wan_round_trip(self):
+        harness = PaxosHarness(wan_latency=0.05)
+        # Warm the leader lease first.
+        harness.participants[0].propose("warm")
+        harness.sim.run(until=0.5)
+        start = harness.sim.now
+        harness.participants[0].propose("timed")
+        while len(harness.decided[0]) < 2:
+            harness.sim.run(until=harness.sim.now + 0.01)
+        elapsed = harness.sim.now - start
+        assert 0.09 <= elapsed <= 0.15  # ~1 RTT to a remote acceptor
+
+
+class TestNonLeaderAndContention:
+    def test_non_leader_can_propose_after_election(self):
+        harness = PaxosHarness(leader=1)
+        harness.participants[1].propose("from-1")
+        harness.sim.run(until=1.0)
+        assert harness.decided[0] == [(0, "from-1")]
+
+    def test_duelling_proposers_converge(self):
+        harness = PaxosHarness(leader=0)
+        harness.participants[0].propose("a")
+        harness.participants[1].propose("b")  # triggers an election fight
+        harness.sim.run(until=5.0)
+        # Every member delivered the same (instance, value) sequence, and
+        # both values made it through. A deposed-and-re-elected leader may
+        # legitimately get a value chosen at two instances (consumers
+        # deduplicate); the paxos-level guarantees are agreement + delivery.
+        assert harness.decided[0] == harness.decided[1] == harness.decided[2]
+        decided_values = {value for _i, value in harness.decided[0]}
+        assert decided_values == {"a", "b"}
+
+    def test_safety_same_instance_never_two_values(self):
+        harness = PaxosHarness()
+        for index in range(10):
+            harness.participants[0].propose(f"x{index}")
+        harness.participants[2].propose("intruder")
+        harness.sim.run(until=5.0)
+        assert harness.decided[0] == harness.decided[1] == harness.decided[2]
+        values = {value for _i, value in harness.decided[0]}
+        assert values == {f"x{i}" for i in range(10)} | {"intruder"}
+
+
+class TestFailover:
+    def test_leader_crash_group_continues(self):
+        harness = PaxosHarness(leader=0)
+        harness.participants[0].propose("before")
+        harness.sim.run(until=1.0)
+        assert harness.decided[1] == [(0, "before")]
+        # Crash the leader: its address stops receiving anything.
+        harness.network.unregister(("paxos", 0))
+        harness.participants[1].propose("after")
+        harness.sim.run(until=3.0)
+        # The survivors (a majority) elect member 1 and keep deciding.
+        survivor_values = [value for _i, value in harness.decided[1]]
+        assert "after" in survivor_values
+        assert harness.decided[1] == harness.decided[2]
+
+    def test_no_progress_without_majority(self):
+        harness = PaxosHarness(leader=0)
+        harness.participants[0].propose("warm")
+        harness.sim.run(until=1.0)
+        harness.network.unregister(("paxos", 1))
+        harness.network.unregister(("paxos", 2))
+        harness.participants[0].propose("doomed")
+        harness.sim.run(until=3.0)
+        values = [value for _i, value in harness.decided[0]]
+        assert "doomed" not in values  # only a minority remains
+
+
+class TestValidation:
+    def test_member_must_be_in_group(self):
+        sim = Simulator()
+        with pytest.raises(PaxosError):
+            PaxosParticipant(sim, 5, [0, 1, 2], lambda d, m: None, lambda i, v: None)
+
+    def test_majority_size(self):
+        harness = PaxosHarness(members=3)
+        assert harness.participants[0].majority == 2

@@ -1,0 +1,72 @@
+"""Property-based tests for Multi-Paxos under random proposal schedules."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.test_paxos import PaxosHarness
+
+# (member, delay-slot, payload) proposals; delays land within half a second.
+proposals = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, 50),
+        st.integers(0, 10_000),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(proposals)
+@settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_agreement_and_delivery_under_random_schedules(schedule):
+    """Whatever the proposal schedule and however leaders duel:
+
+    - every member delivers the same (instance, value) sequence,
+    - every proposed payload is delivered at least once,
+    - no instance is ever chosen with two values (the participant's
+      internal tripwire raises PaxosError if it is).
+    """
+    harness = PaxosHarness(leader=0)
+    payloads = []
+    for member, slot, payload in schedule:
+        value = f"m{member}-{payload}"
+        payloads.append(value)
+        harness.sim.schedule(
+            slot * 0.01, harness.participants[member].propose, value
+        )
+    harness.sim.run(until=30.0)
+
+    assert harness.decided[0] == harness.decided[1] == harness.decided[2]
+    delivered = {value for _instance, value in harness.decided[0]}
+    assert delivered == set(payloads)
+
+
+@given(proposals, st.integers(0, 2))
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_survivors_agree_after_random_member_crash(schedule, victim):
+    """Crash one member mid-run: the two survivors still agree on a
+    common sequence (deliveries are prefix-consistent), and values
+    proposed by survivors after the crash still get through."""
+    harness = PaxosHarness(leader=0)
+    for member, slot, payload in schedule:
+        harness.sim.schedule(
+            slot * 0.01, harness.participants[member].propose, f"m{member}-{payload}"
+        )
+    harness.sim.schedule(0.25, harness.network.unregister, ("paxos", victim))
+    survivors = [m for m in range(3) if m != victim]
+    harness.sim.schedule(
+        0.3, harness.participants[survivors[0]].propose, "post-crash"
+    )
+    harness.sim.run(until=30.0)
+
+    a, b = (harness.decided[m] for m in survivors)
+    shorter = min(len(a), len(b))
+    assert a[:shorter] == b[:shorter]
+    assert any(value == "post-crash" for _i, value in a)

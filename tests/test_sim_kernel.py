@@ -1,0 +1,125 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_time_advances_to_scheduled(self, sim):
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+        assert sim.now == 2.5
+
+    def test_fifo_at_equal_time(self, sim):
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_time_ordering(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(2.0, order.append, "mid")
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_past_runs_now(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: sim.schedule_at(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_nested_scheduling(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 2.0
+
+
+class TestRun:
+    def test_run_until_stops_time(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_empty_with_until_advances_clock(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestRunUntilTriggered:
+    def test_returns_value(self, sim):
+        event = sim.timeout(3.0, "payload")
+        assert sim.run_until_triggered(event) == "payload"
+        assert sim.now == pytest.approx(3.0)
+
+    def test_raises_on_failure(self, sim):
+        event = sim.event()
+        sim.schedule(1.0, lambda: event.fail(ValueError("bad")))
+        with pytest.raises(ValueError):
+            sim.run_until_triggered(event)
+
+    def test_drained_queue_is_error(self, sim):
+        event = sim.event()  # never triggered
+        with pytest.raises(SimulationError):
+            sim.run_until_triggered(event)
+
+    def test_limit_enforced(self, sim):
+        event = sim.timeout(10.0)
+        sim.timeout(20.0)
+        with pytest.raises(SimulationError):
+            sim.run_until_triggered(event, limit=5.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim import LinkSpec, Network, Simulator, lan_topology, wan_topology
+from repro.sim.network import Topology
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_network(sim, topology=None):
+    network = Network(sim, topology)
+    inbox = []
+    network.register("a", lambda src, msg: inbox.append(("a", src, msg, sim.now)))
+    network.register("b", lambda src, msg: inbox.append(("b", src, msg, sim.now)))
+    return network, inbox
+
+
+class TestLinkSpec:
+    def test_latency_only(self):
+        assert LinkSpec(0.001).transfer_time(10_000) == 0.001
+
+    def test_bandwidth_term(self):
+        spec = LinkSpec(0.001, bandwidth=1e6)
+        assert spec.transfer_time(1000) == pytest.approx(0.002)
+
+    def test_zero_size(self):
+        assert LinkSpec(0.001, bandwidth=1e6).transfer_time(0) == 0.001
+
+
+class TestTopology:
+    def test_local_link(self):
+        topology = lan_topology()
+        assert topology.link("x", "x").latency == 0.0
+
+    def test_intra_vs_inter_site(self):
+        topology = wan_topology(lan_latency=0.001, wan_latency=0.1)
+        topology.place("a", 0)
+        topology.place("b", 0)
+        topology.place("c", 1)
+        assert topology.link("a", "b").latency == 0.001
+        assert topology.link("a", "c").latency == 0.1
+
+    def test_site_link_override(self):
+        topology = wan_topology()
+        topology.place("a", 0)
+        topology.place("c", 1)
+        topology.set_site_link(0, 1, LinkSpec(0.222))
+        assert topology.link("a", "c").latency == 0.222
+        assert topology.link("c", "a").latency == 0.222
+
+    def test_unplaced_defaults_to_site_zero(self):
+        topology = wan_topology()
+        topology.place("far", 1)
+        assert topology.link("unknown", "far").latency == topology.inter_site.latency
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self, sim):
+        network, inbox = make_network(sim, lan_topology(latency=0.002))
+        network.send("a", "b", "hello", size=0)
+        sim.run()
+        assert inbox == [("b", "a", "hello", pytest.approx(0.002))]
+
+    def test_duplicate_registration_rejected(self, sim):
+        network, _ = make_network(sim)
+        with pytest.raises(NetworkError):
+            network.register("a", lambda s, m: None)
+
+    def test_unregistered_destination_dropped(self, sim):
+        network, inbox = make_network(sim)
+        network.send("a", "ghost", "lost")
+        sim.run()
+        assert inbox == []
+
+    def test_unregister_simulates_crash(self, sim):
+        network, inbox = make_network(sim)
+        network.unregister("b")
+        network.send("a", "b", "msg")
+        sim.run()
+        assert inbox == []
+
+    def test_per_link_fifo(self, sim):
+        # A big message followed by a small one on the same link must
+        # not be overtaken (TCP-like ordering).
+        topology = lan_topology(latency=0.001, bandwidth=1e6)
+        network, inbox = make_network(sim, topology)
+        network.send("a", "b", "big", size=10_000)   # 0.001 + 0.01
+        network.send("a", "b", "small", size=0)      # raw 0.001, must queue
+        sim.run()
+        assert [entry[2] for entry in inbox] == ["big", "small"]
+
+    def test_distinct_links_independent(self, sim):
+        topology = lan_topology(latency=0.001, bandwidth=1e6)
+        network, inbox = make_network(sim, topology)
+        network.register("c", lambda src, msg: inbox.append(("c", src, msg, sim.now)))
+        network.send("a", "b", "big", size=100_000)
+        network.send("c", "b", "small", size=0)
+        sim.run()
+        assert [entry[2] for entry in inbox] == ["small", "big"]
+
+    def test_stats_counted(self, sim):
+        network, _ = make_network(sim)
+        network.send("a", "b", "x", size=100)
+        network.send("a", "b", "y", size=200)
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 300

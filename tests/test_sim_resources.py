@@ -1,0 +1,85 @@
+"""Unit tests for counted resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_grants_up_to_capacity(self, sim):
+        pool = Resource(sim, 2)
+        first, second, third = pool.request(), pool.request(), pool.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert pool.in_use == 2
+        assert pool.queue_length == 1
+
+    def test_release_grants_fifo(self, sim):
+        pool = Resource(sim, 1)
+        pool.request()
+        waiter_a, waiter_b = pool.request(), pool.request()
+        pool.release()
+        assert waiter_a.triggered and not waiter_b.triggered
+        pool.release()
+        assert waiter_b.triggered
+
+    def test_release_idle_rejected(self, sim):
+        pool = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_total_grants_counted(self, sim):
+        pool = Resource(sim, 1)
+        pool.request()
+        pool.release()
+        pool.request()
+        assert pool.total_grants == 2
+
+    def test_utilization_full(self, sim):
+        pool = Resource(sim, 1)
+
+        def worker():
+            yield pool.request()
+            yield sim.timeout(1.0)
+            pool.release()
+
+        sim.process(worker())
+        sim.run()
+        assert pool.utilization(1.0) == pytest.approx(1.0)
+
+    def test_utilization_half(self, sim):
+        pool = Resource(sim, 2)
+
+        def worker():
+            yield pool.request()
+            yield sim.timeout(1.0)
+            pool.release()
+
+        sim.process(worker())
+        sim.run()
+        assert pool.utilization(1.0) == pytest.approx(0.5)
+
+    def test_queueing_process_flow(self, sim):
+        pool = Resource(sim, 1)
+        finish_times = []
+
+        def worker():
+            yield pool.request()
+            yield sim.timeout(1.0)
+            pool.release()
+            finish_times.append(sim.now)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run()
+        assert finish_times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]

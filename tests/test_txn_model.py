@@ -1,0 +1,220 @@
+"""Unit tests for the transaction model: requests, contexts, procedures, OLLP."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError, FootprintViolation, TransactionAborted
+from repro.partition import Catalog, FuncPartitioner
+from repro.txn import (
+    DELETED,
+    Footprint,
+    Procedure,
+    ProcedureRegistry,
+    SequencedTxn,
+    Transaction,
+    TxnContext,
+    reconnoiter,
+)
+
+
+def make_catalog(partitions=4):
+    config = ClusterConfig(num_partitions=partitions)
+    return Catalog(config, FuncPartitioner(partitions, lambda key: key[1]))
+
+
+def make_txn(read_set, write_set, txn_id=1, dependent=False, token=None):
+    return Transaction.create(
+        txn_id=txn_id,
+        procedure="p",
+        args=None,
+        read_set=read_set,
+        write_set=write_set,
+        dependent=dependent,
+        footprint_token=token,
+    )
+
+
+class TestTransaction:
+    def test_footprint_normalized(self):
+        txn = make_txn([("k", 0)], [("k", 1)])
+        assert isinstance(txn.read_set, frozenset)
+        assert txn.all_keys() == {("k", 0), ("k", 1)}
+
+    def test_participants(self):
+        catalog = make_catalog()
+        txn = make_txn([("k", 0), ("k", 2)], [("k", 2)])
+        assert txn.participants(catalog) == {0, 2}
+
+    def test_active_participants_are_writers(self):
+        catalog = make_catalog()
+        txn = make_txn([("k", 0), ("k", 1)], [("k", 1)])
+        assert txn.active_participants(catalog) == {1}
+
+    def test_read_only_has_one_active(self):
+        catalog = make_catalog()
+        txn = make_txn([("k", 3), ("k", 1)], [])
+        assert txn.active_participants(catalog) == {1}
+        assert txn.reply_partition(catalog) == 1
+
+    def test_reply_partition_lowest_active(self):
+        catalog = make_catalog()
+        txn = make_txn([("k", 0)], [("k", 3), ("k", 2)])
+        assert txn.reply_partition(catalog) == 2
+
+    def test_empty_footprint_rejected(self):
+        catalog = make_catalog()
+        txn = make_txn([], [])
+        with pytest.raises(ConfigError):
+            txn.participants(catalog)
+
+    def test_multipartition_flag(self):
+        catalog = make_catalog()
+        assert make_txn([("k", 0)], [("k", 1)]).is_multipartition(catalog)
+        assert not make_txn([("k", 0)], [("k", 0)]).is_multipartition(catalog)
+
+
+class TestSequencedTxn:
+    def test_ordering_is_epoch_origin_index(self):
+        txn = make_txn([("k", 0)], [])
+        early = SequencedTxn((1, 0, 5), txn)
+        later_origin = SequencedTxn((1, 1, 0), txn)
+        later_epoch = SequencedTxn((2, 0, 0), txn)
+        assert early < later_origin < later_epoch
+        assert early.epoch == 1
+
+
+class TestTxnContext:
+    def test_read_from_snapshot(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {("k", 0): 42})
+        assert ctx.read(("k", 0)) == 42
+
+    def test_missing_key_reads_none(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {})
+        assert ctx.read(("k", 0)) is None
+
+    def test_read_outside_footprint_rejected(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(FootprintViolation):
+            ctx.read(("other", 0))
+
+    def test_write_only_key_not_readable_before_write(self):
+        txn = make_txn([], [("k", 0)])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(FootprintViolation):
+            ctx.read(("k", 0))
+
+    def test_read_your_writes(self):
+        txn = make_txn([], [("k", 0)])
+        ctx = TxnContext(txn, {})
+        ctx.write(("k", 0), 7)
+        assert ctx.read(("k", 0)) == 7
+
+    def test_write_outside_write_set_rejected(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(FootprintViolation):
+            ctx.write(("k", 0), 1)
+
+    def test_delete_buffers_tombstone(self):
+        txn = make_txn([("k", 0)], [("k", 0)])
+        ctx = TxnContext(txn, {("k", 0): 5})
+        ctx.delete(("k", 0))
+        assert ctx.writes[("k", 0)] is DELETED
+        assert ctx.read(("k", 0)) is None
+
+    def test_delete_outside_write_set_rejected(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(FootprintViolation):
+            ctx.delete(("k", 0))
+
+    def test_cannot_write_sentinel(self):
+        txn = make_txn([], [("k", 0)])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(FootprintViolation):
+            ctx.write(("k", 0), DELETED)
+
+    def test_abort_raises(self):
+        txn = make_txn([("k", 0)], [])
+        ctx = TxnContext(txn, {})
+        with pytest.raises(TransactionAborted):
+            ctx.abort("nope")
+
+    def test_random_deterministic_per_txn_id(self):
+        a = TxnContext(make_txn([("k", 0)], [], txn_id=9), {})
+        b = TxnContext(make_txn([("k", 0)], [], txn_id=9), {})
+        c = TxnContext(make_txn([("k", 0)], [], txn_id=10), {})
+        assert a.random.random() == b.random.random()
+        assert a.random.random() != c.random.random()
+
+
+class TestProcedureRegistry:
+    def test_register_and_get(self):
+        registry = ProcedureRegistry()
+        proc = Procedure("p", lambda ctx: None)
+        registry.register(proc)
+        assert registry.get("p") is proc
+        assert "p" in registry
+
+    def test_duplicate_rejected(self):
+        registry = ProcedureRegistry()
+        registry.register(Procedure("p", lambda ctx: None))
+        with pytest.raises(ConfigError):
+            registry.register(Procedure("p", lambda ctx: None))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            ProcedureRegistry().get("ghost")
+
+    def test_define_decorator(self):
+        registry = ProcedureRegistry()
+
+        @registry.define("hello", logic_cpu=1e-6)
+        def hello(ctx):
+            return "hi"
+
+        assert registry.get("hello").logic is hello
+        assert registry.names() == ["hello"]
+
+    def test_dependent_needs_both_hooks(self):
+        with pytest.raises(ConfigError):
+            Procedure("p", lambda ctx: None, reconnoiter=lambda r, a: None)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ConfigError):
+            Procedure("p", lambda ctx: None, logic_cpu=-1)
+
+
+class TestOllp:
+    def make_dependent(self):
+        def recon(read_fn, args):
+            pointer = read_fn("pointer")
+            return Footprint.create({"pointer", pointer}, {pointer}, token=pointer)
+
+        return Procedure(
+            "dep", lambda ctx: None, reconnoiter=recon, recheck=lambda ctx: True
+        )
+
+    def test_reconnoiter_builds_footprint(self):
+        proc = self.make_dependent()
+        footprint = reconnoiter(proc, lambda key: "target", None)
+        assert footprint.read_set == {"pointer", "target"}
+        assert footprint.write_set == {"target"}
+        assert footprint.token == "target"
+
+    def test_reconnoiter_on_independent_rejected(self):
+        proc = Procedure("p", lambda ctx: None)
+        with pytest.raises(ConfigError):
+            reconnoiter(proc, lambda key: None, None)
+
+    def test_reconnoiter_must_return_footprint(self):
+        proc = Procedure(
+            "bad", lambda ctx: None,
+            reconnoiter=lambda read_fn, args: "oops",
+            recheck=lambda ctx: True,
+        )
+        with pytest.raises(ConfigError):
+            reconnoiter(proc, lambda key: None, None)

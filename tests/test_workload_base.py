@@ -1,0 +1,44 @@
+"""The Workload interface contract."""
+
+import random
+
+import pytest
+
+from repro import TxnSpec, Workload
+
+
+class TestWorkloadBase:
+    def test_abstract_methods_raise(self):
+        workload = Workload()
+        with pytest.raises(NotImplementedError):
+            workload.register(None)
+        with pytest.raises(NotImplementedError):
+            workload.build_partitioner(2)
+        with pytest.raises(NotImplementedError):
+            workload.initial_data(None)
+        with pytest.raises(NotImplementedError):
+            workload.generate(random.Random(1), 0, None)
+
+    def test_cold_predicate_defaults_to_none(self):
+        assert Workload().cold_predicate() is None
+
+
+class TestTxnSpec:
+    def test_create_normalizes_sets(self):
+        spec = TxnSpec.create("p", None, ["a", "a", "b"], ["b"])
+        assert spec.read_set == frozenset({"a", "b"})
+        assert spec.write_set == frozenset({"b"})
+        assert not spec.dependent
+
+    def test_spec_frozen(self):
+        import dataclasses
+
+        spec = TxnSpec.create("p", None, ["a"], [])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.procedure = "q"
+
+    def test_specs_hashable_and_comparable(self):
+        a = TxnSpec.create("p", None, ["a"], [])
+        b = TxnSpec.create("p", None, ["a"], [])
+        assert a == b
+        assert hash(a) == hash(b)
