@@ -32,8 +32,20 @@ from repro.core import (
     Metrics,
     RunReport,
     check_conflict_order,
+    check_epoch_contiguity,
+    check_no_double_apply,
+    check_no_lost_commits,
     check_replica_consistency,
+    check_replica_prefix_consistency,
     check_serializability,
+)
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    build_profile,
+    random_plan,
 )
 from repro.errors import (
     ConfigError,
@@ -70,6 +82,10 @@ __all__ = [
     "ConsistencyError",
     "CostModel",
     "DEFAULT_CONFIG",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Footprint",
     "FootprintViolation",
     "Metrics",
@@ -87,7 +103,13 @@ __all__ = [
     "TxnStatus",
     "Workload",
     "YcsbWorkload",
+    "build_profile",
     "check_conflict_order",
+    "check_epoch_contiguity",
+    "check_no_double_apply",
+    "check_no_lost_commits",
     "check_replica_consistency",
+    "check_replica_prefix_consistency",
     "check_serializability",
+    "random_plan",
 ]

@@ -14,6 +14,7 @@ from typing import List, Tuple
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
+from repro.faults.plan import FaultPlan
 from repro.workloads.microbenchmark import Microbenchmark
 
 
@@ -23,16 +24,15 @@ def _run(crash_replicas: List[int], seed: int, machines: int,
     config = ClusterConfig(
         num_partitions=machines, num_replicas=3, replication_mode="paxos", seed=seed
     )
-    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    # Permanent whole-replica crashes (no restart: ``until`` unset).
+    plan = FaultPlan(name=f"e8-crash-{'-'.join(map(str, crash_replicas))}")
+    for replica in crash_replicas:
+        plan.crash(at=crash_at, replica=replica)
+    cluster = CalvinCluster(
+        config, workload=workload, record_history=False, fault_plan=plan
+    )
     cluster.load_workload_data()
     cluster.add_clients(1200)  # saturate through the WAN commit latency
-
-    def crash() -> None:
-        for replica in crash_replicas:
-            for partition in range(machines):
-                cluster.crash_node(replica, partition)
-
-    cluster.sim.schedule_at(crash_at, crash)
     cluster.run(duration=duration, warmup=0.0)
     # Skip the leader-election warmup in the reported series.
     return cluster.metrics.throughput.series(cluster.sim.now - 0.05, start_time=0.4)

@@ -11,6 +11,9 @@ Commands:
   threshold).
 - ``demo`` — a 30-second guided tour (tiny cluster, a few transactions,
   a serializability check).
+- ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]`` —
+  run the microbenchmark under a named fault profile, verify every
+  correctness invariant, and print the reproducible fault-trace digest.
 """
 
 from __future__ import annotations
@@ -61,6 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run a small guided demo")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a workload under fault injection and verify invariants"
+    )
+    from repro.faults.profiles import FAULT_PROFILES
+
+    chaos.add_argument("--profile", default="chaos-mix",
+                       choices=sorted(FAULT_PROFILES))
+    chaos.add_argument("--seed", type=int, default=2012)
+    chaos.add_argument("--duration", type=float, default=0.8,
+                       help="measured virtual seconds (faults span 85%% of it)")
+    chaos.add_argument("--replicas", type=int, default=2,
+                       help="replica count (paxos replication when > 1)")
+    chaos.add_argument("--partitions", type=int, default=2)
+    chaos.add_argument("--trace", action="store_true",
+                       help="print the full fault trace, not just its digest")
 
     compare = sub.add_parser(
         "compare", help="diff two archived experiment JSONs for regressions"
@@ -133,6 +152,56 @@ def cmd_demo() -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.config import ClusterConfig
+    from repro.core import checkers
+    from repro.core.cluster import CalvinCluster
+    from repro.workloads.microbenchmark import Microbenchmark
+
+    config = ClusterConfig(
+        num_partitions=args.partitions,
+        num_replicas=args.replicas,
+        replication_mode="paxos" if args.replicas > 1 else "none",
+        seed=args.seed,
+        fault_profile=args.profile,
+        fault_horizon=args.duration * 0.85,
+    )
+    cluster = CalvinCluster(
+        config,
+        workload=Microbenchmark(mp_fraction=0.3, hot_set_size=10, cold_set_size=100),
+        monitor_interval=config.epoch_duration * 5,
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(4, max_txns=20)
+    injector = cluster.fault_injector
+    print(injector.plan.describe())
+    print(f"running {args.duration}s of virtual time (seed {args.seed})...")
+    cluster.run(duration=args.duration)
+    cluster.quiesce()
+
+    checks = [
+        ("serializability", checkers.check_serializability),
+        ("conflict order", checkers.check_conflict_order),
+        ("replica consistency", lambda c: checkers.check_replica_consistency(c) or 0),
+        ("epoch contiguity", checkers.check_epoch_contiguity),
+        ("no double-apply", checkers.check_no_double_apply),
+        ("no lost commits", checkers.check_no_lost_commits),
+        ("replica prefix consistency", checkers.check_replica_prefix_consistency),
+    ]
+    for name, check in checks:
+        count = check(cluster)
+        print(f"  invariant ok: {name} ({count} checked)")
+    print(f"committed {cluster.metrics.committed} txns; "
+          f"{injector.monitor_checks} live monitor sweeps; "
+          f"{len(injector.trace)} fault-trace events")
+    if args.trace:
+        for entry in injector.trace:
+            print(f"  {entry}")
+    print(f"trace digest {injector.trace_digest()}")
+    print("rerun with the same seed to reproduce this run bit-for-bit")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -142,6 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "demo":
         return cmd_demo()
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 

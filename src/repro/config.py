@@ -111,6 +111,12 @@ class ClusterConfig:
     disk_estimate_error: float = 0.0
     # Checkpointing mode: "none", "naive" (stop-the-world) or "zigzag".
     checkpoint_mode: str = "none"
+    # Named fault profile (see repro.faults.profiles.FAULT_PROFILES) the
+    # cluster instantiates at construction; None = no fault injection.
+    fault_profile: Optional[str] = None
+    # Virtual-time horizon the profile's schedule is stretched over —
+    # should cover the measured run so every fault fires and heals.
+    fault_horizon: float = 2.0
 
     def validate(self) -> None:
         if self.num_partitions < 1:
@@ -133,6 +139,17 @@ class ClusterConfig:
             raise ConfigError(f"unknown checkpoint mode: {self.checkpoint_mode!r}")
         if not 0.0 <= self.disk_estimate_error <= 1.0:
             raise ConfigError("disk_estimate_error must be in [0, 1]")
+        if self.fault_profile is not None:
+            # Imported here: repro.faults imports this module.
+            from repro.faults.profiles import FAULT_PROFILES
+
+            if self.fault_profile not in FAULT_PROFILES:
+                raise ConfigError(
+                    f"unknown fault profile {self.fault_profile!r}; "
+                    f"known: {sorted(FAULT_PROFILES)}"
+                )
+        if self.fault_horizon <= 0:
+            raise ConfigError("fault_horizon must be positive")
         self.costs.validate()
 
     @property

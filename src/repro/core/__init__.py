@@ -3,7 +3,11 @@
 from repro.core.api import CalvinDB
 from repro.core.checkers import (
     check_conflict_order,
+    check_epoch_contiguity,
+    check_no_double_apply,
+    check_no_lost_commits,
     check_replica_consistency,
+    check_replica_prefix_consistency,
     check_serializability,
     reference_execution,
 )
@@ -20,7 +24,11 @@ __all__ = [
     "Metrics",
     "RunReport",
     "check_conflict_order",
+    "check_epoch_contiguity",
+    "check_no_double_apply",
+    "check_no_lost_commits",
     "check_replica_consistency",
+    "check_replica_prefix_consistency",
     "check_serializability",
     "reference_execution",
 ]

@@ -40,6 +40,111 @@ def check_replica_consistency(cluster) -> None:
             )
 
 
+def check_epoch_contiguity(cluster) -> int:
+    """Every node's input log covers a gap-free epoch range.
+
+    A sequencer that skipped an epoch (e.g. a fault dropped the batch
+    between agreement and logging) would leave a hole that deterministic
+    replay cannot bridge. Safe to run mid-flight: a frozen (crashed)
+    node's log simply stops early, which is still contiguous. Returns
+    the number of log entries inspected.
+    """
+    inspected = 0
+    for node_id, node in sorted(cluster.nodes.items()):
+        epochs = [entry.epoch for entry in node.input_log]
+        for prior, current in zip(epochs, epochs[1:]):
+            if current != prior + 1:
+                raise ConsistencyError(
+                    f"{node_id}: input-log epoch gap {prior} -> {current}"
+                )
+        inspected += len(epochs)
+    return inspected
+
+
+def check_no_double_apply(cluster) -> int:
+    """No transaction is sequenced or executed twice.
+
+    Duplicated network messages (ClientSubmit, SubBatch, ReplicaBatch,
+    Learn) must be absorbed by the idempotent intake layers; if one
+    slips through, a transaction shows up at two sequence positions or
+    finishes twice on some scheduler. Returns transactions inspected.
+    """
+    inspected = 0
+    for replica in range(cluster.config.num_replicas):
+        seen: Dict[int, Any] = {}
+        for entry in cluster.merged_log(replica):
+            for index, txn in enumerate(entry.txns):
+                seq = (entry.epoch, entry.origin_partition, index)
+                if txn.txn_id in seen:
+                    raise ConsistencyError(
+                        f"replica {replica}: txn {txn.txn_id} sequenced twice "
+                        f"(at {seen[txn.txn_id]} and {seq})"
+                    )
+                seen[txn.txn_id] = seq
+                inspected += 1
+    for node_id, node in sorted(cluster.nodes.items()):
+        trace = node.scheduler.execution_trace
+        if trace is not None and len(trace) != len(set(trace)):
+            duplicated = sorted({seq for seq in trace if trace.count(seq) > 1})
+            raise ConsistencyError(
+                f"{node_id}: executed sequence(s) {duplicated[:3]} twice"
+            )
+    return inspected
+
+
+def check_no_lost_commits(cluster) -> int:
+    """Every completion the cluster reported is backed by the input log.
+
+    A result whose sequence position is absent from replica 0's merged
+    log would be unrecoverable — replay could never reproduce it.
+    Requires ``record_history=True``. Returns completions inspected.
+    """
+    logged = set()
+    for entry in cluster.merged_log(replica=0):
+        for index in range(len(entry.txns)):
+            logged.add((entry.epoch, entry.origin_partition, index))
+    for seq, txn, _status in cluster.history:
+        if seq not in logged:
+            raise ConsistencyError(
+                f"lost commit: txn {txn.txn_id} completed at seq {seq} "
+                "but that position is not in replica 0's input log"
+            )
+    return len(cluster.history)
+
+
+def check_replica_prefix_consistency(cluster) -> int:
+    """Replicas that executed the same transactions hold the same state.
+
+    The end-of-run :func:`check_replica_consistency` needs quiescence;
+    this variant is safe *during* a run (including mid-fault): a peer
+    partition is only compared against replica 0 when both have executed
+    exactly the same set of sequence positions — a lagging (or crashed)
+    peer is simply skipped, a diverged one is caught the moment it
+    catches up. Requires execution traces on every replica
+    (``record_history=True``). Returns the number of partitions compared.
+    """
+    compared = 0
+    for partition in range(cluster.config.num_partitions):
+        reference = cluster.node(0, partition)
+        if reference.scheduler.execution_trace is None:
+            raise ConsistencyError(
+                "execution traces are off; build the cluster with "
+                "record_history=True"
+            )
+        reference_seqs = set(reference.scheduler.execution_trace)
+        for replica in range(1, cluster.config.num_replicas):
+            peer = cluster.node(replica, partition)
+            if set(peer.scheduler.execution_trace or ()) != reference_seqs:
+                continue  # lagging or ahead; nothing comparable yet
+            if peer.store.fingerprint() != reference.store.fingerprint():
+                raise ConsistencyError(
+                    f"replica {replica} partition {partition} diverged from "
+                    f"replica 0 after the same {len(reference_seqs)} executions"
+                )
+            compared += 1
+    return compared
+
+
 def reference_execution(
     initial_data: Dict[Key, Any],
     history: List[Tuple[Any, Transaction, TxnStatus]],

@@ -49,7 +49,9 @@ class ClosedLoopClient:
         self.rng = cluster.rngs.stream("client", index)
         self._target = node_address(NodeId(0, partition))
         self._inflight: Optional[TxnSpec] = None
+        self._inflight_txn_id: Optional[int] = None
         self._restarts = 0
+        self.stale_replies = 0
         self.submitted = 0
         self.completed = 0
         cluster.network.register(self.address, self._on_message)
@@ -98,6 +100,7 @@ class ClosedLoopClient:
             restarts=self._restarts,
         )
         self._inflight = spec
+        self._inflight_txn_id = txn.txn_id
         self.submitted += 1
         message = ClientSubmit(txn)
         cluster.network.send(self.address, self._target, message, message.size_estimate())
@@ -107,12 +110,18 @@ class ClosedLoopClient:
     def _on_message(self, src: Any, message: Any) -> None:
         assert isinstance(message, TxnReply), f"client got {message!r}"
         result = message.result
+        if result.txn_id != self._inflight_txn_id:
+            # Duplicate or reordered reply from a faulty network for a
+            # request this closed-loop client already accounted for.
+            self.stale_replies += 1
+            return
         cluster = self.cluster
         now = cluster.sim.now
         if now >= cluster.metrics.window_start:
             cluster.metrics.record_latency(result.latency)
         spec = self._inflight
         self._inflight = None
+        self._inflight_txn_id = None
         self.completed += 1
 
         if (

@@ -8,7 +8,7 @@ examples usually go through the friendlier :class:`repro.core.api.CalvinDB`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.config import ClusterConfig
 from repro.core.clients import ClosedLoopClient
@@ -28,6 +28,10 @@ from repro.txn.result import TxnStatus
 from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
 from repro.workloads.base import Workload
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+
 # (seq, txn, status) per terminal execution, in arbitrary append order;
 # sort by seq to obtain the agreed serial history.
 HistoryEntry = Tuple[GlobalSeq, Transaction, TxnStatus]
@@ -43,6 +47,8 @@ class CalvinCluster:
         registry: Optional[ProcedureRegistry] = None,
         partitioner: Optional[Partitioner] = None,
         record_history: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
+        monitor_interval: Optional[float] = None,
     ):
         config.validate()
         self.config = config
@@ -83,7 +89,9 @@ class CalvinCluster:
                 self.rngs,
                 cold_predicate=cold,
                 on_complete=on_complete,
-                record_trace=record_history and node_id.replica == 0,
+                # Traces on every replica: the live fault checkers compare
+                # peer replicas' executed prefixes against replica 0's.
+                record_trace=record_history,
             )
 
         self.clients: List[ClosedLoopClient] = []
@@ -91,6 +99,24 @@ class CalvinCluster:
         self._txn_counter = 0
         self._started = False
         self._initial_data: Dict[Key, Any] = {}
+
+        # Fault injection: an explicit plan wins; otherwise a profile
+        # named in the config is instantiated over a default horizon.
+        self.fault_injector: Optional["FaultInjector"] = None
+        if fault_plan is None and config.fault_profile is not None:
+            from repro.faults.profiles import build_profile
+
+            fault_plan = build_profile(
+                config.fault_profile, config, config.fault_horizon
+            )
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self, fault_plan, monitor_interval=monitor_interval
+            ).install()
+            for node in self.nodes.values():
+                node.scheduler.retain_remote_reads = True
 
     # -- construction helpers ------------------------------------------------
 
@@ -274,19 +300,71 @@ class CalvinCluster:
     # -- failures -------------------------------------------------------------------
 
     def crash_node(self, replica: int, partition: int) -> None:
-        """Silence a node: its address is unregistered, so all traffic to
-        it is dropped (and it sends nothing — its timers fire into a dead
-        component whose sends are suppressed by the network layer only on
-        receive; we also mark it crashed so peers' views are realistic).
+        """Fail-stop a node: deaf (traffic to it is dropped), frozen
+        (its timers park in the kernel), sends held until restart.
 
         With Paxos input replication, a crashed *non-input* replica node
         costs nothing: agreement needs only a majority, and surviving
         replicas keep executing the agreed log — the paper's
         no-single-point-of-failure claim, exercised by experiment E8.
         """
+        self.node(replica, partition).crash()
+
+    def restart_node(self, replica: int, partition: int, resync: bool = True) -> None:
+        """Bring a crashed node back; with ``resync``, re-learn what it
+        missed from healthy peers (paper Section 2's recovery story)."""
         node = self.node(replica, partition)
-        self.network.unregister(node.address)
-        node.crashed = True
+        if not node.crashed:
+            return
+        node.restart()
+        if resync:
+            self.resync_node(replica, partition)
+
+    def resync_node(self, replica: int, partition: int) -> None:
+        """Catch a rejoined node up on everything it was deaf to.
+
+        Three classes of messages were dropped while the node's address
+        was unregistered, each repaired from a healthy peer's durable or
+        retained state:
+
+        1. *Input-log entries* — paxos: every healthy same-partition
+           peer retransmits its protocol state (chosen values as Learns;
+           the leader additionally re-solicits stalled Accepts, without
+           which a group whose majority needs the rejoined member would
+           stay wedged forever); async: re-feed the origin replica's
+           logged batches through the epoch-ordered intake.
+        2. *Sub-batches* from same-replica sequencers of other
+           partitions — each peer re-derives them from its input log
+           (:meth:`Sequencer.resend_to`); scheduler intake is idempotent.
+        3. *Remote reads* peers served while the node was down — peers
+           retain served reads and re-send the relevant ones
+           (:meth:`Scheduler.reserve_reads_to`).
+        """
+        node = self.node(replica, partition)
+        mode = self.config.replication_mode
+        if mode == "paxos":
+            for peer_replica in range(self.config.num_replicas):
+                if peer_replica == replica:
+                    continue
+                donor = self.node(peer_replica, partition)
+                if not donor.crashed:
+                    donor.sequencer.replication.participant.retransmit_to(replica)
+        elif mode == "async" and replica != 0:
+            origin = self.node(0, partition)
+            from repro.net.messages import ReplicaBatch
+
+            for entry in origin.input_log:
+                node.sequencer.handle_replica_batch(
+                    ReplicaBatch(entry.epoch, entry.origin_partition, entry.txns)
+                )
+        for peer_partition in range(self.config.num_partitions):
+            if peer_partition == partition:
+                continue
+            peer = self.node(replica, peer_partition)
+            if peer.crashed:
+                continue
+            peer.sequencer.resend_to(partition, from_epoch=node.scheduler.next_epoch)
+            peer.scheduler.reserve_reads_to(node.scheduler)
 
     def snapshot_read(self, key: Key, replica: int = 0) -> Any:
         """A low-consistency read served by any replica (possibly stale —

@@ -73,6 +73,11 @@ class CalvinNode:
         self.catalog = catalog
         self.config = config
         self.address = node_address(node_id)
+        # Before the components: Paxos leader election sends during
+        # sequencer construction, and send() consults the crash flag.
+        self.crashed = False
+        self.suppressed_sends = 0
+        self._held_sends: list = []
 
         self.engine = StorageEngine(
             sim,
@@ -106,7 +111,6 @@ class CalvinNode:
         )
         network.register(self.address, self.handle_message)
         self._checkpointing = False
-        self.crashed = False
 
     def _make_replication(self):
         mode = self.config.replication_mode
@@ -123,11 +127,47 @@ class CalvinNode:
     def start(self) -> None:
         self.sequencer.start()
 
+    def crash(self) -> None:
+        """Fail-stop: deaf (address unregistered, traffic to it dropped)
+        and frozen (owner-tagged timers park in the kernel until restart).
+
+        Sends attempted while crashed are *parked*, not dropped: the
+        simulated processes that produce them are deterministic, so a
+        real recovery replay would regenerate byte-identical messages —
+        flushing them at restart is equivalent and far cheaper.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.network.unregister(self.address)
+        self.sim.suspend_owner(self.address)
+
+    def restart(self) -> None:
+        """Rejoin the cluster: re-register, thaw parked timers, flush
+        parked sends.
+
+        State recovery (re-learning missed input-log entries and lost
+        remote reads from healthy peers) is orchestrated by
+        :meth:`repro.core.cluster.CalvinCluster.resync_node`.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.network.register(self.address, self.handle_message)
+        self.sim.resume_owner(self.address)
+        held, self._held_sends = self._held_sends, []
+        for dst, message, size in held:
+            self.network.send(self.address, dst, message, size)
+
     @property
     def store(self):
         return self.engine.store
 
     def send(self, dst: Any, message: Any, size: int = 256) -> None:
+        if self.crashed:
+            self.suppressed_sends += 1
+            self._held_sends.append((dst, message, size))
+            return
         self.network.send(self.address, dst, message, size)
 
     # -- message routing ---------------------------------------------------------

@@ -1,0 +1,34 @@
+"""Deterministic, seed-driven fault injection for the simulated cluster.
+
+A :class:`FaultPlan` is a declarative schedule of adversarial events —
+node crashes and restarts, per-link message drop/delay/duplication,
+site-level network partitions (with TCP-style buffering or outright
+loss), and disk degradation (latency spikes, torn I/O). A
+:class:`FaultInjector` installs the plan into a
+:class:`~repro.core.cluster.CalvinCluster` via hooks in the simulation
+kernel (owner suspension), the network (per-send fault filter), and the
+simulated disk (fault modes).
+
+Everything is driven off the cluster's named RNG streams, so a given
+(seed, plan) pair replays the identical fault schedule event-for-event:
+chaos runs are reproducible and shrinkable. See docs/fault_injection.md.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.profiles import (
+    FAULT_PROFILES,
+    build_profile,
+    random_plan,
+    register_profile,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "build_profile",
+    "random_plan",
+    "register_profile",
+]

@@ -1,0 +1,245 @@
+"""The declarative fault schedule.
+
+A plan is a validated list of :class:`FaultEvent` entries, each with a
+start time, an optional window end, a target selector, and parameters.
+Plans are built through the fluent helpers (:meth:`FaultPlan.crash`,
+:meth:`FaultPlan.partition_sites`, ...) so that every benchmark, test,
+and CLI entry point describes failures in the same vocabulary instead
+of hand-rolling ``sim.schedule_at`` callbacks.
+
+Times are in seconds of virtual time. Link faults address *sites*
+(replica datacenters) or concrete node coordinates; ``None`` in a
+selector slot is a wildcard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+# Fault kinds, one vocabulary for the whole repo.
+CRASH = "crash"              # fail-stop a node (lossy); optional restart
+PAUSE = "pause"              # stall a node; its traffic is held, not lost
+LINK = "link"                # per-link drop/delay/duplicate window
+PARTITION = "partition"      # split site groups; buffer or drop across the cut
+DISK = "disk"                # disk latency spike / torn-I/O window
+
+KINDS = (CRASH, PAUSE, LINK, PARTITION, DISK)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is when the fault begins; ``until`` (where meaningful) is when
+    it ends — a crashed node restarts, a partition heals, a link window
+    or disk degradation clears. ``until=None`` means the fault persists
+    to the end of the run.
+    """
+
+    kind: str
+    at: float
+    until: Optional[float] = None
+    target: Tuple[Any, ...] = ()
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return dict(self.params).get(name, default)
+
+    def validate(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ConfigError(f"fault start must be >= 0 (got {self.at})")
+        if self.until is not None and self.until <= self.at:
+            raise ConfigError(
+                f"fault window must end after it starts ({self.at} .. {self.until})"
+            )
+
+
+def _params(**kwargs: Any) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+class FaultPlan:
+    """An ordered, validated collection of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), name: str = "adhoc"):
+        self.name = name
+        self._events: List[FaultEvent] = list(events)
+
+    # -- builders -------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        event.validate()
+        self._events.append(event)
+        return self
+
+    def crash(
+        self,
+        at: float,
+        replica: int,
+        partition: Optional[int] = None,
+        until: Optional[float] = None,
+        resync: bool = True,
+    ) -> "FaultPlan":
+        """Fail-stop node(s) at ``at``; restart (and resync) at ``until``.
+
+        ``partition=None`` crashes every node of the replica (a whole
+        datacenter, as in experiment E8). Messages to and from a crashed
+        node are lost; a restarted node re-learns missed input-log
+        entries from a healthy peer when ``resync`` is set.
+        """
+        return self.add(
+            FaultEvent(CRASH, at, until, ("node", replica, partition),
+                       _params(resync=resync))
+        )
+
+    def pause(
+        self,
+        at: float,
+        replica: int,
+        partition: Optional[int] = None,
+        until: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Stall node(s): incoming traffic is buffered (TCP retransmit
+        semantics) and delivered when the node resumes, outgoing timers
+        freeze. Models a GC pause / overloaded VM rather than a crash."""
+        return self.add(FaultEvent(PAUSE, at, until, ("node", replica, partition)))
+
+    def link_faults(
+        self,
+        at: float,
+        until: Optional[float] = None,
+        src_site: Optional[int] = None,
+        dst_site: Optional[int] = None,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        delay_jitter: float = 0.0,
+        duplicate: float = 0.0,
+    ) -> "FaultPlan":
+        """A lossy/laggy/duplicating window on matching directed links.
+
+        ``drop``/``duplicate`` are per-message probabilities; ``delay``
+        (plus uniform ``delay_jitter``) is added after the FIFO clamp, so
+        delayed messages can arrive out of order. Site ``None`` matches
+        any site.
+        """
+        for name, prob in (("drop", drop), ("duplicate", duplicate)):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigError(f"{name} probability must be in [0, 1]")
+        if delay < 0 or delay_jitter < 0:
+            raise ConfigError("delay and delay_jitter must be >= 0")
+        return self.add(
+            FaultEvent(
+                LINK,
+                at,
+                until,
+                ("site", src_site, dst_site),
+                _params(drop=drop, delay=delay, delay_jitter=delay_jitter,
+                        duplicate=duplicate),
+            )
+        )
+
+    def partition_sites(
+        self,
+        at: float,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        until: Optional[float] = None,
+        mode: str = "buffer",
+    ) -> "FaultPlan":
+        """Split the network between two site groups until it heals.
+
+        ``mode="buffer"`` holds messages crossing the cut and delivers
+        them at heal time (what TCP retransmission converges to for
+        partitions shorter than its timeouts); ``mode="drop"`` loses
+        them outright.
+        """
+        if mode not in ("buffer", "drop"):
+            raise ConfigError(f"partition mode must be buffer|drop, got {mode!r}")
+        a, b = tuple(sorted(set(group_a))), tuple(sorted(set(group_b)))
+        if not a or not b:
+            raise ConfigError("both partition groups must be non-empty")
+        if set(a) & set(b):
+            raise ConfigError(f"partition groups overlap: {set(a) & set(b)}")
+        return self.add(
+            FaultEvent(PARTITION, at, until, ("sites", a, b), _params(mode=mode))
+        )
+
+    def disk_fault(
+        self,
+        at: float,
+        until: Optional[float] = None,
+        replica: Optional[int] = None,
+        partition: Optional[int] = None,
+        latency_multiplier: float = 1.0,
+        extra_latency: float = 0.0,
+        torn_io_prob: float = 0.0,
+    ) -> "FaultPlan":
+        """Degrade matching nodes' disks: latency spike and/or torn I/O
+        (checksum-failed accesses that are retried). No-op on nodes
+        without a disk tier."""
+        if latency_multiplier <= 0:
+            raise ConfigError("latency_multiplier must be > 0")
+        if extra_latency < 0:
+            raise ConfigError("extra_latency must be >= 0")
+        if not 0.0 <= torn_io_prob < 1.0:
+            raise ConfigError("torn_io_prob must be in [0, 1)")
+        return self.add(
+            FaultEvent(
+                DISK,
+                at,
+                until,
+                ("node", replica, partition),
+                _params(latency_multiplier=latency_multiplier,
+                        extra_latency=extra_latency, torn_io_prob=torn_io_prob),
+            )
+        )
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        return sorted(self._events, key=lambda e: (e.at, KINDS.index(e.kind)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def horizon(self) -> float:
+        """Latest time the plan mentions (0.0 for an empty plan)."""
+        times = [e.at for e in self._events]
+        times += [e.until for e in self._events if e.until is not None]
+        return max(times, default=0.0)
+
+    def validate(self, num_replicas: int, num_partitions: int) -> None:
+        """Check every event's coordinates against a cluster shape."""
+        for event in self._events:
+            event.validate()
+            kind, target = event.kind, event.target
+            if kind in (CRASH, PAUSE, DISK):
+                _tag, replica, partition = target
+                if replica is not None and not 0 <= replica < num_replicas:
+                    raise ConfigError(f"{kind}: replica {replica} out of range")
+                if partition is not None and not 0 <= partition < num_partitions:
+                    raise ConfigError(f"{kind}: partition {partition} out of range")
+            elif kind == PARTITION:
+                _tag, group_a, group_b = target
+                for site in (*group_a, *group_b):
+                    if not 0 <= site < num_replicas:
+                        raise ConfigError(f"partition: site {site} out of range")
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan {self.name!r} ({len(self._events)} events):"]
+        for event in self.events:
+            window = f"..{event.until:.3f}" if event.until is not None else ".."
+            lines.append(
+                f"  t={event.at:.3f}{window} {event.kind} "
+                f"target={event.target} {dict(event.params)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Named fault profiles and the seeded random-plan generator.
+
+A profile is a function ``(config, duration) -> FaultPlan`` registered
+under a name, so benchmarks, tests, and the CLI can say
+``fault_profile="chaos-mix"`` instead of hand-building schedules.
+``random_plan`` draws a structurally valid plan from an RNG — the
+substrate of the property-based chaos tests: any plan it returns, run
+under any seed, must leave every invariant green.
+
+Profiles only schedule faults the cluster can *survive* end-to-end
+(pauses, buffered partitions, crash+restart of non-input replicas, disk
+degradation). Unsurvivable faults — unhealed lossy links, permanent
+crashes — remain expressible through the FaultPlan API for experiments
+like E8 that assert graceful stalls rather than recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import ClusterConfig
+
+ProfileFn = Callable[["ClusterConfig", float], FaultPlan]
+
+FAULT_PROFILES: Dict[str, ProfileFn] = {}
+
+
+def register_profile(name: str) -> Callable[[ProfileFn], ProfileFn]:
+    def deco(fn: ProfileFn) -> ProfileFn:
+        FAULT_PROFILES[name] = fn
+        return fn
+
+    return deco
+
+
+def build_profile(name: str, config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Instantiate the named profile for a cluster shape and run length."""
+    try:
+        builder = FAULT_PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault profile {name!r}; known: {sorted(FAULT_PROFILES)}"
+        ) from None
+    plan = builder(config, duration)
+    plan.name = name
+    return plan
+
+
+@register_profile("replica-crash")
+def _replica_crash(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Crash a whole non-input replica mid-run, restart + resync later."""
+    if config.num_replicas < 2:
+        raise ConfigError("replica-crash profile needs >= 2 replicas")
+    plan = FaultPlan(name="replica-crash")
+    plan.crash(at=duration * 0.3, replica=1, until=duration * 0.6, resync=True)
+    return plan
+
+
+@register_profile("node-pause")
+def _node_pause(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Stall one input node (GC-pause style); traffic buffers and replays."""
+    plan = FaultPlan(name="node-pause")
+    plan.pause(at=duration * 0.25, replica=0, partition=0, until=duration * 0.45)
+    return plan
+
+
+@register_profile("site-partition")
+def _site_partition(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Cut one replica site off the WAN for a while, then heal."""
+    if config.num_replicas < 2:
+        raise ConfigError("site-partition profile needs >= 2 replicas")
+    plan = FaultPlan(name="site-partition")
+    others = list(range(1, config.num_replicas))
+    plan.partition_sites(
+        at=duration * 0.3, group_a=[0], group_b=others, until=duration * 0.55,
+        mode="buffer",
+    )
+    return plan
+
+
+@register_profile("flaky-links")
+def _flaky_links(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Delay-and-duplicate window on every link (no loss, so every
+    protocol converges once the window closes)."""
+    plan = FaultPlan(name="flaky-links")
+    plan.link_faults(
+        at=duration * 0.2, until=duration * 0.6,
+        delay=config.epoch_duration * 0.5,
+        delay_jitter=config.epoch_duration * 0.5,
+        duplicate=0.10,
+    )
+    return plan
+
+
+@register_profile("disk-storm")
+def _disk_storm(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """Latency spike + torn I/O on every disk for the middle of the run."""
+    plan = FaultPlan(name="disk-storm")
+    plan.disk_fault(
+        at=duration * 0.25, until=duration * 0.75,
+        latency_multiplier=4.0, torn_io_prob=0.2,
+    )
+    return plan
+
+
+@register_profile("chaos-mix")
+def _chaos_mix(config: "ClusterConfig", duration: float) -> FaultPlan:
+    """The acceptance scenario: crash + partition + disk faults in one run.
+
+    With one replica the crash/partition legs degrade to a node pause
+    (the only node-level fault a single-replica cluster survives).
+    """
+    plan = FaultPlan(name="chaos-mix")
+    if config.num_replicas >= 2:
+        plan.crash(at=duration * 0.20, replica=1, until=duration * 0.45, resync=True)
+        plan.partition_sites(
+            at=duration * 0.55, group_a=[0],
+            group_b=list(range(1, config.num_replicas)),
+            until=duration * 0.70, mode="buffer",
+        )
+    else:
+        plan.pause(at=duration * 0.20, replica=0, partition=0, until=duration * 0.40)
+    plan.disk_fault(
+        at=duration * 0.30, until=duration * 0.80,
+        latency_multiplier=3.0, torn_io_prob=0.15,
+    )
+    plan.link_faults(
+        at=duration * 0.60, until=duration * 0.85,
+        delay=config.epoch_duration * 0.3, duplicate=0.05,
+    )
+    return plan
+
+
+def random_plan(
+    rng: random.Random,
+    config: "ClusterConfig",
+    duration: float,
+    max_faults: int = 4,
+) -> FaultPlan:
+    """Draw a random *survivable* plan: every fault heals before
+    ``duration`` and only targets the cluster can recover from are hit.
+
+    Used by the property-based chaos suite: for any (rng, shape) the
+    returned plan must preserve serializability, replica consistency,
+    and determinism.
+    """
+    plan = FaultPlan(name=f"random-{rng.randrange(1 << 30)}")
+    kinds = ["pause", "disk", "flaky"]
+    if config.num_replicas >= 2:
+        kinds += ["crash", "partition"]
+    for _ in range(rng.randint(1, max_faults)):
+        kind = rng.choice(kinds)
+        start = rng.uniform(0.1, 0.5) * duration
+        end = start + rng.uniform(0.1, 0.4) * duration
+        if kind == "pause":
+            plan.pause(
+                at=start,
+                replica=rng.randrange(config.num_replicas),
+                partition=rng.randrange(config.num_partitions),
+                until=end,
+            )
+        elif kind == "crash":
+            plan.crash(
+                at=start,
+                replica=rng.randrange(1, config.num_replicas),
+                partition=rng.randrange(config.num_partitions),
+                until=end,
+                resync=True,
+            )
+        elif kind == "partition":
+            cut = rng.randrange(1, config.num_replicas)
+            group_a = list(range(cut))
+            group_b = list(range(cut, config.num_replicas))
+            plan.partition_sites(at=start, group_a=group_a, group_b=group_b,
+                                 until=end, mode="buffer")
+        elif kind == "disk":
+            plan.disk_fault(
+                at=start, until=end,
+                latency_multiplier=rng.uniform(1.5, 6.0),
+                torn_io_prob=rng.uniform(0.0, 0.3),
+            )
+        elif kind == "flaky":
+            plan.link_faults(
+                at=start, until=end,
+                delay=rng.uniform(0.0, 0.005),
+                delay_jitter=rng.uniform(0.0, 0.005),
+                duplicate=rng.uniform(0.0, 0.2),
+            )
+    return plan

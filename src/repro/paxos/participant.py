@@ -106,6 +106,33 @@ class PaxosParticipant:
     def majority(self) -> int:
         return len(self.group) // 2 + 1
 
+    def retransmit_to(self, member: int) -> int:
+        """Re-send protocol state to a rejoined peer (recovery hook).
+
+        The simulated network has no retransmission layer, so a member
+        that was deaf for a while has simply lost traffic; in a group
+        whose majority needs that member (e.g. 2 of 2), agreement then
+        stalls forever. Everything re-sent here is idempotent at the
+        receiver: Learns re-deliver chosen values, Accepts re-solicit
+        the Accepted replies the leader is still waiting for, a Prepare
+        re-solicits the Promise of an in-progress election. Returns the
+        number of messages sent.
+        """
+        sent = 0
+        for instance in sorted(self.chosen):
+            self._send(member, Learn(instance, self.chosen[instance]))
+            sent += 1
+        if self.leading:
+            for instance in sorted(self._inflight):
+                entry = self._inflight[instance]
+                if not entry["chosen"]:
+                    self._send(member, Accept(self.ballot, instance, entry["value"]))
+                    sent += 1
+        elif self._electing:
+            self._send(member, Prepare(self.ballot, from_instance=self._deliver_cursor))
+            sent += 1
+        return sent
+
     # -- proposer ---------------------------------------------------------
 
     def _start_election(self) -> None:

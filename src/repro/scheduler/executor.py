@@ -78,7 +78,9 @@ class Executor:
             # *other* active participant.
             if local_read_keys:
                 message = RemoteRead(seq, mine, local_values)
-                for partition in sorted(active - {mine}):
+                targets = active - {mine}
+                sched.record_served_read(message, targets)
+                for partition in sorted(targets):
                     target = NodeId(sched.node_id.replica, partition)
                     sched.send(node_address(target), message, message.size_estimate())
 

@@ -16,12 +16,12 @@ cut of the global sequence.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.config import ClusterConfig
 from repro.errors import SchedulerError
 from repro.net.messages import RemoteRead, SubBatch
-from repro.partition.catalog import Catalog, NodeId
+from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.partition.partitioner import stable_hash
 from repro.scheduler.executor import Executor
 from repro.scheduler.lockmanager import DeterministicLockManager
@@ -92,6 +92,12 @@ class Scheduler:
         # Remote-read mailbox: seq -> {from_partition: values}.
         self._mailbox: Dict[GlobalSeq, Dict[int, Dict]] = {}
         self._mailbox_waiters: Dict[GlobalSeq, List[Event]] = {}
+        # Fault-tolerance aid (enabled by the fault injector): remember
+        # every served remote read and every finished seq, so a restarted
+        # peer can be re-served reads that were lost while it was down.
+        self.retain_remote_reads = False
+        self._served_reads: Dict[GlobalSeq, Tuple[RemoteRead, Set[int]]] = {}
+        self._finished_seqs: Set[GlobalSeq] = set()
 
         # Checkpoint pause machinery.
         self._pause_epoch: Optional[int] = None
@@ -109,10 +115,18 @@ class Scheduler:
     # -- sub-batch intake and epoch barrier --------------------------------
 
     def receive_subbatch(self, batch: SubBatch) -> None:
+        if batch.epoch < self._next_epoch:
+            # Already admitted this epoch: a retransmission from a
+            # recovery resync (or a duplicating network). Ignore.
+            return
         per_epoch = self._arrived.setdefault(batch.epoch, {})
-        if batch.origin_partition in per_epoch:
+        existing = per_epoch.get(batch.origin_partition)
+        if existing is not None:
+            if existing == batch:
+                # Identical duplicate (lossy network or resync): idempotent.
+                return
             raise SchedulerError(
-                f"duplicate sub-batch epoch={batch.epoch} "
+                f"conflicting duplicate sub-batch epoch={batch.epoch} "
                 f"origin={batch.origin_partition} at {self.node_id}"
             )
         per_epoch[batch.origin_partition] = batch
@@ -183,6 +197,11 @@ class Scheduler:
             self._on_locks_ready(stxn)
 
     @property
+    def next_epoch(self) -> int:
+        """The first epoch not yet fully admitted (recovery watermark)."""
+        return self._next_epoch
+
+    @property
     def admission_backlog(self) -> int:
         """Transactions queued for lock admission (all shards)."""
         return len(self._admission) + sum(len(q) for q in self._shard_queues)
@@ -219,6 +238,8 @@ class Scheduler:
             self._lock_shards[index].release(stxn)
         self._mailbox.pop(stxn.seq, None)
         self._mailbox_waiters.pop(stxn.seq, None)
+        if self.retain_remote_reads:
+            self._finished_seqs.add(stxn.seq)
         self.completed += 1
         if self.execution_trace is not None:
             self.execution_trace.append(stxn.seq)
@@ -235,12 +256,44 @@ class Scheduler:
     # -- remote reads -----------------------------------------------------------
 
     def receive_remote_read(self, message: RemoteRead) -> None:
+        if message.seq in self._finished_seqs:
+            # Re-served read for a transaction this node already finished
+            # (recovery retransmission); ignore.
+            return
         entry = self._mailbox.setdefault(message.seq, {})
         entry[message.from_partition] = message.values
         waiters = self._mailbox_waiters.pop(message.seq, None)
         if waiters:
             for event in waiters:
                 event.succeed()
+
+    def record_served_read(self, message: RemoteRead, targets: Set[int]) -> None:
+        """Executor hook: remember a served remote read for re-serving to
+        a restarted peer (active only under fault injection)."""
+        if self.retain_remote_reads:
+            self._served_reads[message.seq] = (message, set(targets))
+
+    def reserve_reads_to(self, peer_scheduler: "Scheduler") -> int:
+        """Re-send retained remote reads a restarted peer may have lost.
+
+        Skips transactions the peer has already finished; everything else
+        is idempotent on the receiving side. Returns the re-send count.
+        """
+        resent = 0
+        peer_partition = peer_scheduler.node_id.partition
+        for seq in sorted(self._served_reads):
+            message, targets = self._served_reads[seq]
+            if peer_partition not in targets:
+                continue
+            if seq in peer_scheduler._finished_seqs:
+                continue
+            self.send(
+                node_address(NodeId(self.node_id.replica, peer_partition)),
+                message,
+                message.size_estimate(),
+            )
+            resent += 1
+        return resent
 
     def remote_reads_for(self, seq: GlobalSeq) -> Dict[int, Dict]:
         return self._mailbox.get(seq, {})

@@ -55,6 +55,13 @@ class NoReplication(ReplicationStrategy):
 class AsyncReplication(ReplicationStrategy):
     """Dispatch at the origin immediately; ship to peers asynchronously."""
 
+    def __init__(self) -> None:
+        # Epoch-ordered intake at the peer: a faulty network may delay or
+        # reorder ReplicaBatch messages, but the input log must still be
+        # applied in epoch order, so out-of-order arrivals are buffered.
+        self._pending: dict = {}
+        self._next_epoch = 0
+
     def publish(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
         sequencer = self.sequencer
         sequencer.dispatch(epoch, txns)
@@ -63,8 +70,14 @@ class AsyncReplication(ReplicationStrategy):
             sequencer.send(node_address(peer), batch, batch.size_estimate())
 
     def handle_replica_batch(self, batch: ReplicaBatch) -> None:
-        # Peer replica: the origin already ordered the batch; apply it.
-        self.sequencer.dispatch(batch.epoch, batch.txns)
+        # Peer replica: the origin already ordered the batch; apply it in
+        # epoch order (duplicates of already-applied epochs are dropped).
+        if batch.epoch >= self._next_epoch:
+            self._pending[batch.epoch] = batch
+        while self._next_epoch in self._pending:
+            ready = self._pending.pop(self._next_epoch)
+            self._next_epoch += 1
+            self.sequencer.dispatch(ready.epoch, ready.txns)
 
 
 class PaxosReplication(ReplicationStrategy):

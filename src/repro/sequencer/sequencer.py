@@ -49,10 +49,15 @@ class Sequencer:
         self.engine = engine
         self.replication = replication
         replication.attach(self)
+        # Timers and pending fan-out are tagged with the node's address
+        # so a kernel-level crash (suspend_owner) freezes them with the
+        # rest of the node.
+        self._owner = node_address(node_id)
 
         self._buffer: List[Transaction] = []
         self._epoch = 0
         self._dispatched_epochs = set()
+        self._seen_txn_ids = set()
         self._started = False
         # Local input-log durability (only meaningful without replication).
         self._force_log = None
@@ -76,7 +81,7 @@ class Sequencer:
         if self._started or not self.accepts_input:
             return
         self._started = True
-        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+        self.sim.schedule_owned(self._owner, self.config.epoch_duration, self._epoch_tick)
 
     # -- input ---------------------------------------------------------------
 
@@ -90,6 +95,12 @@ class Sequencer:
         """
         if not self.accepts_input:
             raise RuntimeError("client input submitted to a non-input replica")
+        if txn.txn_id in self._seen_txn_ids:
+            # A lossy network may duplicate ClientSubmit messages (or a
+            # client may retransmit); sequencing the same request twice
+            # would double-apply it, so admission is idempotent per txn id.
+            return
+        self._seen_txn_ids.add(txn.txn_id)
         if self.config.disk_enabled:
             cold = self._cold_keys(txn)
             if cold:
@@ -143,7 +154,7 @@ class Sequencer:
             )
         else:
             self.replication.publish(epoch, batch)
-        self.sim.schedule(self.config.epoch_duration, self._epoch_tick)
+        self.sim.schedule_owned(self._owner, self.config.epoch_duration, self._epoch_tick)
 
     # -- dispatch (called by the replication strategy once a batch is
     #    allowed to execute at THIS replica) --------------------------------
@@ -170,14 +181,43 @@ class Sequencer:
             for partition in txn.participants(self.catalog):
                 per_partition[partition].append(stxn)
 
-        # Sequencer CPU: batch assembly/serialization delay.
+        # Sequencer CPU: batch assembly/serialization delay. The sends
+        # are owned by the node so a crash freezes (not loses) them.
         delay = len(txns) * self.config.costs.sequencer_cpu_per_txn
         for partition in range(self.catalog.num_partitions):
             target = NodeId(self.node_id.replica, partition)
             message = SubBatch(epoch, origin, tuple(per_partition[partition]))
-            self.sim.schedule(
-                delay, self.send, node_address(target), message, message.size_estimate()
+            self.sim.schedule_owned(
+                self._owner,
+                delay,
+                self.send,
+                node_address(target),
+                message,
+                message.size_estimate(),
             )
+
+    def resend_to(self, partition: int, from_epoch: int = 0) -> int:
+        """Re-fan-out logged batches to one scheduler of this replica.
+
+        Recovery hook (paper Section 2: a rejoining node is brought up to
+        date from a peer's input log): re-derives the per-partition
+        sub-batches of every logged epoch ``>= from_epoch`` and re-sends
+        them to ``partition``'s scheduler, whose intake is idempotent.
+        Returns the number of sub-batches re-sent.
+        """
+        resent = 0
+        origin = self.node_id.partition
+        for entry in self.input_log.entries_from(from_epoch):
+            stxns = tuple(
+                SequencedTxn((entry.epoch, origin, index), txn)
+                for index, txn in enumerate(entry.txns)
+                if partition in txn.participants(self.catalog)
+            )
+            message = SubBatch(entry.epoch, origin, stxns)
+            target = NodeId(self.node_id.replica, partition)
+            self.send(node_address(target), message, message.size_estimate())
+            resent += 1
+        return resent
 
     # -- replication plumbing ------------------------------------------------
 

@@ -1,19 +1,27 @@
 """The discrete-event simulation loop.
 
-:class:`Simulator` keeps a binary heap of ``(time, sequence, fn, args)``
-entries. Equal-time entries run in scheduling order (FIFO), which makes
-runs bit-for-bit reproducible for a fixed seed — a property the
-replica-consistency experiments depend on.
+:class:`Simulator` keeps a binary heap of ``(time, sequence, fn, args,
+owner)`` entries. Equal-time entries run in scheduling order (FIFO),
+which makes runs bit-for-bit reproducible for a fixed seed — a property
+the replica-consistency experiments depend on.
+
+Entries may carry an *owner* tag (any hashable). Owners can be
+suspended — their due entries are parked instead of dispatched — and
+later resumed, which replays the parked entries in their original order.
+This is the kernel-level hook the fault injector uses to crash and
+restart a node's timer-driven processes without losing determinism.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+
+HeapEntry = Tuple[float, int, Callable[..., None], tuple, Optional[Hashable]]
 
 
 class Simulator:
@@ -21,23 +29,62 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._heap: List[HeapEntry] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        # Crash/restart support: owners whose entries are parked on pop.
+        self._suspended: Set[Hashable] = set()
+        self._parked: Dict[Hashable, List[Tuple[Callable[..., None], tuple]]] = {}
 
     # -- scheduling ----------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        self.schedule_owned(None, delay, fn, *args)
+
+    def schedule_owned(
+        self, owner: Optional[Hashable], delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Like :meth:`schedule`, tagging the entry with ``owner``.
+
+        Owned entries are subject to :meth:`suspend_owner` /
+        :meth:`resume_owner` (crash/restart of a node's processes).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args, owner))
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
         self.schedule(max(0.0, when - self.now), fn, *args)
+
+    # -- crash/restart hooks --------------------------------------------
+
+    def suspend_owner(self, owner: Hashable) -> None:
+        """Freeze ``owner``: its due entries are parked, not dispatched.
+
+        Models a crashed (or stalled) component whose timers must not
+        fire while it is down. Parked entries keep their original order.
+        """
+        if owner is None:
+            raise SimulationError("cannot suspend the anonymous owner")
+        self._suspended.add(owner)
+
+    def resume_owner(self, owner: Hashable) -> None:
+        """Unfreeze ``owner`` and replay its parked entries now, in order."""
+        self._suspended.discard(owner)
+        for fn, args in self._parked.pop(owner, []):
+            self.schedule_owned(owner, 0.0, fn, *args)
+
+    def discard_parked(self, owner: Hashable) -> int:
+        """Drop ``owner``'s parked entries (a restart that loses volatile
+        timers rather than replaying them). Returns the number dropped."""
+        return len(self._parked.pop(owner, []))
+
+    def suspended(self, owner: Hashable) -> bool:
+        return owner in self._suspended
 
     # -- event constructors ---------------------------------------------
 
@@ -76,12 +123,15 @@ class Simulator:
         try:
             dispatched = 0
             while self._heap:
-                when, _seq, fn, args = self._heap[0]
+                when, _seq, fn, args, owner = self._heap[0]
                 if until is not None and when > until:
                     self.now = until
                     break
                 heapq.heappop(self._heap)
                 self.now = when
+                if owner is not None and owner in self._suspended:
+                    self._parked.setdefault(owner, []).append((fn, args))
+                    continue
                 fn(*args)
                 self.events_executed += 1
                 dispatched += 1
@@ -104,8 +154,11 @@ class Simulator:
                 raise SimulationError("event queue drained before event triggered")
             if limit is not None and self._heap[0][0] > limit:
                 raise SimulationError(f"event not triggered before t={limit}")
-            when, _seq, fn, args = heapq.heappop(self._heap)
+            when, _seq, fn, args, owner = heapq.heappop(self._heap)
             self.now = when
+            if owner is not None and owner in self._suspended:
+                self._parked.setdefault(owner, []).append((fn, args))
+                continue
             fn(*args)
             self.events_executed += 1
         if event.ok:

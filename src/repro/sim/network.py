@@ -22,6 +22,30 @@ Address = Hashable
 Handler = Callable[[Address, Any], None]
 
 
+@dataclass
+class DeliveryVerdict:
+    """What a fault filter decided about one message.
+
+    - ``drop``: the message vanishes (lossy link / crashed destination).
+    - ``hold``: the filter takes custody (e.g. a network partition that
+      buffers traffic TCP-style until it heals and re-sends it).
+    - ``extra_delay``: added *after* the FIFO clamp, so a delayed message
+      can arrive behind later traffic on the same link (reordering).
+    - ``copies``: total deliveries (2+ = duplication).
+    """
+
+    drop: bool = False
+    hold: bool = False
+    extra_delay: float = 0.0
+    copies: int = 1
+
+
+DELIVER = DeliveryVerdict()
+
+# filter(now, src, dst, message, size) -> DeliveryVerdict
+FaultFilter = Callable[[float, Address, Address, Any, int], DeliveryVerdict]
+
+
 @dataclass(frozen=True)
 class LinkSpec:
     """One directed link class: latency in seconds, bandwidth in bytes/sec."""
@@ -99,6 +123,12 @@ class Network:
         self._last_arrival: Dict[Tuple[Address, Address], float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Fault-injection hook: consulted once per send (see faults/).
+        self.fault_filter: Optional[FaultFilter] = None
+        self.messages_dropped = 0
+        self.messages_held = 0
+        self.messages_duplicated = 0
+        self.messages_delayed = 0
         # Minimum spacing between same-link deliveries; preserves FIFO
         # while keeping equal-latency messages effectively simultaneous.
         self._fifo_epsilon = 1e-9
@@ -120,6 +150,18 @@ class Network:
         destination may have crashed); senders needing acknowledgement
         implement it at the protocol level, exactly as on a real network.
         """
+        self.messages_sent += 1
+        self.bytes_sent += size
+        verdict = DELIVER
+        if self.fault_filter is not None:
+            verdict = self.fault_filter(self.sim.now, src, dst, message, size)
+            if verdict.drop:
+                self.messages_dropped += 1
+                return
+            if verdict.hold:
+                # The filter has taken custody (it re-sends on heal).
+                self.messages_held += 1
+                return
         spec = self.topology.link(src, dst)
         arrival = self.sim.now + spec.transfer_time(size)
         key = (src, dst)
@@ -127,9 +169,18 @@ class Network:
         if previous is not None and arrival <= previous:
             arrival = previous + self._fifo_epsilon
         self._last_arrival[key] = arrival
-        self.messages_sent += 1
-        self.bytes_sent += size
-        self.sim.schedule_at(arrival, self._deliver, src, dst, message)
+        # Extra delay lands *after* the FIFO clamp and is not recorded in
+        # ``_last_arrival``: a later undelayed message can overtake this
+        # one, which is exactly the reordering fault being modelled.
+        if verdict.extra_delay > 0:
+            self.messages_delayed += 1
+            arrival += verdict.extra_delay
+        if verdict.copies > 1:
+            self.messages_duplicated += verdict.copies - 1
+        for copy in range(max(1, verdict.copies)):
+            self.sim.schedule_at(
+                arrival + copy * self._fifo_epsilon, self._deliver, src, dst, message
+            )
 
     def _deliver(self, src: Address, dst: Address, message: Any) -> None:
         handler = self._handlers.get(dst)

@@ -51,6 +51,34 @@ class WarmCache:
             self.evictions += 1
 
 
+class DiskFaultMode:
+    """An active degradation of the device (installed by the fault injector).
+
+    ``latency_multiplier``/``extra_latency`` model a latency spike (a
+    contended or failing spindle); ``torn_io_prob`` is the chance that an
+    access comes back corrupt (a torn read/write detected by checksum)
+    and must be retried, each retry paying a fresh access latency.
+    """
+
+    def __init__(
+        self,
+        latency_multiplier: float = 1.0,
+        extra_latency: float = 0.0,
+        torn_io_prob: float = 0.0,
+        max_retries: int = 8,
+    ):
+        if latency_multiplier <= 0:
+            raise StorageError("latency_multiplier must be > 0")
+        if extra_latency < 0:
+            raise StorageError("extra_latency must be >= 0")
+        if not 0.0 <= torn_io_prob < 1.0:
+            raise StorageError("torn_io_prob must be in [0, 1)")
+        self.latency_multiplier = latency_multiplier
+        self.extra_latency = extra_latency
+        self.torn_io_prob = torn_io_prob
+        self.max_retries = max_retries
+
+
 class SimulatedDisk:
     """A disk device: limited parallelism, randomized access latency."""
 
@@ -61,6 +89,12 @@ class SimulatedDisk:
         self._slots = Resource(sim, costs.disk_parallelism, name="disk")
         self.fetches = 0
         self.total_latency = 0.0
+        self.fault_mode: Optional[DiskFaultMode] = None
+        self.torn_accesses = 0
+
+    def set_fault_mode(self, mode: Optional[DiskFaultMode]) -> None:
+        """Install (or, with ``None``, clear) a fault mode on the device."""
+        self.fault_mode = mode
 
     def access_latency(self) -> float:
         """Draw one access latency from the device's distribution."""
@@ -68,6 +102,9 @@ class SimulatedDisk:
         latency = self._costs.disk_latency_mean
         if jitter > 0:
             latency += self._rng.uniform(-jitter, jitter)
+        fault = self.fault_mode
+        if fault is not None:
+            latency = latency * fault.latency_multiplier + fault.extra_latency
         return max(1e-4, latency)
 
     def expected_latency(self) -> float:
@@ -83,9 +120,23 @@ class SimulatedDisk:
 
     def _fetch_process(self, done: Event):
         yield self._slots.request()
-        latency = self.access_latency()
-        self.total_latency += latency
-        yield self.sim.timeout(latency)
+        attempts = 0
+        while True:
+            latency = self.access_latency()
+            self.total_latency += latency
+            yield self.sim.timeout(latency)
+            fault = self.fault_mode
+            if (
+                fault is not None
+                and fault.torn_io_prob > 0
+                and attempts < fault.max_retries
+                and self._rng.random() < fault.torn_io_prob
+            ):
+                # Torn I/O: checksum mismatch, re-read the sector.
+                self.torn_accesses += 1
+                attempts += 1
+                continue
+            break
         self._slots.release()
         done.succeed()
 

@@ -45,14 +45,23 @@ class TestEpochBarrier:
         total_admitted = sum(cluster.node(0, p).scheduler.admitted for p in range(2))
         assert total_admitted >= cluster.metrics.committed
 
-    def test_duplicate_subbatch_rejected(self):
+    def test_duplicate_subbatch_absorbed_conflicting_rejected(self):
+        # A faulty network may duplicate sub-batches: identical copies
+        # are absorbed (idempotent intake), conflicting ones still raise.
         cluster = tiny_cluster()
         from repro.net.messages import SubBatch
+        from repro.txn.transaction import SequencedTxn, Transaction
 
         scheduler = cluster.node(0, 0).scheduler
         scheduler.receive_subbatch(SubBatch(0, 0, ()))
+        scheduler.receive_subbatch(SubBatch(0, 0, ()))
+        assert scheduler.admitted == 0
+        txn = Transaction.create(
+            1, "micro", None, [("hot", 0, 0)], [("hot", 0, 0)]
+        )
+        conflicting = SubBatch(0, 0, (SequencedTxn((0, 0, 0), txn),))
         with pytest.raises(SchedulerError):
-            scheduler.receive_subbatch(SubBatch(0, 0, ()))
+            scheduler.receive_subbatch(conflicting)
 
 
 class TestSequencer:
