@@ -11,6 +11,7 @@ from repro.config import BaselineConfig, ClusterConfig
 from repro.core.clients import ClosedLoopClient
 from repro.core.metrics import Metrics, RunReport
 from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
 from repro.partition.catalog import Catalog
 from repro.partition.partitioner import Key, Partitioner
 from repro.sim.kernel import Simulator
@@ -32,6 +33,7 @@ class BaselineCluster:
         workload: Optional[Workload] = None,
         registry: Optional[ProcedureRegistry] = None,
         partitioner: Optional[Partitioner] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         config.validate()
         if config.num_replicas != 1:
@@ -57,7 +59,11 @@ class BaselineCluster:
         self.network = Network(
             self.sim, lan_topology(config.lan_latency, config.lan_bandwidth)
         )
-        self.metrics = Metrics()
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.metrics_registry = MetricsRegistry()
+        self.sim.register_metrics(self.metrics_registry)
+        self.network.register_metrics(self.metrics_registry)
+        self.metrics = Metrics(registry=self.metrics_registry)
 
         self.nodes: Dict[int, BaselineNode] = {
             partition: BaselineNode(
@@ -69,9 +75,12 @@ class BaselineCluster:
                 self.baseline,
                 self.registry,
                 on_complete=self._completion_hook,
+                tracer=self.tracer,
             )
             for partition in range(config.num_partitions)
         }
+        for partition, node in self.nodes.items():
+            node.register_metrics(self.metrics_registry, f"node.p{partition}")
         self.clients: List[ClosedLoopClient] = []
         self._txn_counter = 0
 

@@ -34,6 +34,7 @@ from repro.baseline.messages import (
 from repro.config import BaselineConfig, ClusterConfig
 from repro.errors import ConfigError, NetworkError, TransactionAborted
 from repro.net.messages import ClientSubmit, TxnReply
+from repro.obs import NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.scheduler.lockmanager import LockMode
 from repro.sim.events import Event
@@ -77,6 +78,7 @@ class BaselineNode:
         baseline: BaselineConfig,
         registry: ProcedureRegistry,
         on_complete: Optional[CompletionHook] = None,
+        tracer: TraceRecorder = NULL_RECORDER,
     ):
         self.sim = sim
         self.network = network
@@ -86,6 +88,7 @@ class BaselineNode:
         self.baseline = baseline
         self.registry = registry
         self.on_complete = on_complete
+        self.tracer = tracer
         self.address = node_address(NodeId(0, partition))
 
         self.store = KVStore(partition)
@@ -139,6 +142,13 @@ class BaselineNode:
             yield state.waiter
         state.waiter = None
 
+    def _span(self, kind: SpanKind, start: float, txn_id: int, detail=None) -> None:
+        if self.tracer.enabled:
+            self.tracer.record(
+                kind, start, self.sim.now,
+                replica=0, partition=self.partition, txn_id=txn_id, detail=detail,
+            )
+
     # -- coordinator ------------------------------------------------------------
 
     def _coordinate(self, txn: Transaction):
@@ -168,7 +178,11 @@ class BaselineNode:
                 ExecRequest(txn.txn_id, txn.txn_id, self.partition, read_keys, write_keys),
             )
 
+        # The coordinator's wait for participant read results is the
+        # baseline's analogue of Calvin's remote-read collection phase.
+        wait_start = self.sim.now
         yield from self._wait_for(state, lambda: len(state.replies) == len(participants))
+        self._span(SpanKind.REMOTE_READ_WAIT, wait_start, txn.txn_id, detail="exec-replies")
 
         ok_partitions = [p for p, reply in state.replies.items() if reply.ok]
         if len(ok_partitions) < len(participants):
@@ -185,6 +199,7 @@ class BaselineNode:
             reads.update(reply.values)
 
         # Run the procedure logic on a local worker.
+        exec_start = self.sim.now
         yield self.workers.request()
         procedure = self.registry.get(txn.procedure)
         cpu = costs.txn_base_cpu + procedure.logic_cpu
@@ -201,6 +216,7 @@ class BaselineNode:
             context.writes.clear()
         yield self.sim.timeout(cpu)
         self.workers.release()
+        self._span(SpanKind.EXECUTE, exec_start, txn.txn_id, detail="coordinator")
 
         if not committed:
             for partition in sorted(participants):
@@ -215,21 +231,28 @@ class BaselineNode:
         if len(participants) == 1:
             # Local commit: one forced commit record, then apply/release.
             if self.baseline.force_log_writes:
+                force_start = self.sim.now
                 yield self.log.force()
+                self._span(SpanKind.DISK, force_start, txn.txn_id, detail="log-force")
             self._prepared[txn.txn_id] = writes_by_partition[self.partition]
             self.send(self.partition, Decision(txn.txn_id, commit=True))
             self._finish(state, TxnStatus.COMMITTED, value)
             return
 
-        # Two-phase commit.
+        # Two-phase commit. The prepare round is the baseline's input
+        # durability step — the analogue of Calvin's batch replication.
+        prepare_start = self.sim.now
         for partition in sorted(participants):
             self.send(
                 partition,
                 PrepareRequest(txn.txn_id, self.partition, writes_by_partition[partition]),
             )
         yield from self._wait_for(state, lambda: len(state.votes) == len(participants))
+        self._span(SpanKind.REPLICATE, prepare_start, txn.txn_id, detail="2pc-prepare")
         if self.baseline.force_log_writes:
+            force_start = self.sim.now
             yield self.log.force()  # the forced decision record
+            self._span(SpanKind.DISK, force_start, txn.txn_id, detail="log-force")
         for partition in sorted(participants):
             self.send(partition, Decision(txn.txn_id, commit=True))
         self._finish(state, TxnStatus.COMMITTED, value)
@@ -268,17 +291,21 @@ class BaselineNode:
             (key, LockMode.READ)
             for key in sorted(set(request.read_keys) - write_set, key=repr)
         ]
+        lock_start = self.sim.now
         for key, mode in requests:
             outcome = yield self.locks.acquire(ts, key, mode)
             if outcome is DIED:
                 self.locks.release_all(ts)
+                self._span(SpanKind.LOCK_WAIT, lock_start, request.txn_id, detail="died")
                 self.send(
                     request.coordinator_partition,
                     ExecReply(request.txn_id, self.partition, ok=False, values={}),
                 )
                 return
+        self._span(SpanKind.LOCK_WAIT, lock_start, request.txn_id)
 
         # All local locks held: read local values on a worker.
+        exec_start = self.sim.now
         yield self.workers.request()
         cpu = (
             costs.lock_request_cpu * len(requests)
@@ -289,6 +316,7 @@ class BaselineNode:
         values = {key: self.store.get(key) for key in request.read_keys}
         yield self.sim.timeout(max(cpu, 1e-9))
         self.workers.release()
+        self._span(SpanKind.EXECUTE, exec_start, request.txn_id, detail="participant")
         self.send(
             request.coordinator_partition,
             ExecReply(request.txn_id, self.partition, ok=True, values=values),
@@ -297,16 +325,26 @@ class BaselineNode:
     def _participant_prepare(self, request: PrepareRequest):
         self._prepared[request.txn_id] = request.writes
         if self.baseline.force_log_writes:
+            force_start = self.sim.now
             yield self.log.force()
+            self._span(SpanKind.DISK, force_start, request.txn_id, detail="log-force")
         self.send(request.coordinator_partition, PrepareVote(request.txn_id, self.partition))
 
     def _participant_decide(self, decision: Decision):
         writes = self._prepared.pop(decision.txn_id, None)
         if decision.commit and writes:
+            apply_start = self.sim.now
             yield self.workers.request()
             yield self.sim.timeout(
                 max(self.config.costs.write_cpu * len(writes), 1e-9)
             )
             self.store.apply_writes(writes)
             self.workers.release()
+            self._span(SpanKind.APPLY, apply_start, decision.txn_id)
         self.locks.release_all(decision.txn_id)
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose node tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.committed", lambda: self.committed)
+        registry.gauge(f"{prefix}.aborted", lambda: self.aborted)
+        registry.gauge(f"{prefix}.deaths", lambda: self.deaths)

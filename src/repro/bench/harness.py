@@ -10,6 +10,7 @@ from repro.config import BaselineConfig, ClusterConfig
 from repro.core.cluster import CalvinCluster
 from repro.core.metrics import RunReport
 from repro.errors import ConfigError
+from repro.obs import TraceRecorder
 from repro.workloads.base import Workload
 
 # Enough closed-loop clients per partition to saturate a node's workers
@@ -49,9 +50,16 @@ def run_calvin(
     config: ClusterConfig,
     profile: ScaleProfile,
     clients_per_partition: Optional[int] = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> RunReport:
-    """Build a Calvin cluster, saturate it, measure one window."""
-    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    """Build a Calvin cluster, saturate it, measure one window.
+
+    Pass a live :class:`TraceRecorder` to collect per-phase spans for
+    the run (e.g. for the latency-breakdown experiment).
+    """
+    cluster = CalvinCluster(
+        config, workload=workload, record_history=False, tracer=tracer
+    )
     cluster.load_workload_data()
     cluster.add_clients(clients_per_partition or profile.clients_per_partition)
     return cluster.run(duration=profile.duration, warmup=profile.warmup)
@@ -63,9 +71,10 @@ def run_baseline(
     profile: ScaleProfile,
     baseline: Optional[BaselineConfig] = None,
     clients_per_partition: Optional[int] = None,
+    tracer: Optional[TraceRecorder] = None,
 ) -> RunReport:
     """Same measurement against the System R*-style baseline."""
-    cluster = BaselineCluster(config, baseline=baseline, workload=workload)
+    cluster = BaselineCluster(config, baseline=baseline, workload=workload, tracer=tracer)
     cluster.load_workload_data()
     cluster.add_clients(clients_per_partition or profile.clients_per_partition)
     return cluster.run(duration=profile.duration, warmup=profile.warmup)

@@ -14,6 +14,10 @@ Commands:
 - ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]`` —
   run the microbenchmark under a named fault profile, verify every
   correctness invariant, and print the reproducible fault-trace digest.
+- ``trace [--system calvin|baseline|both] [--format summary|chrome]
+  [--out F]`` — run the microbenchmark with span tracing on and emit a
+  per-phase latency breakdown or a Chrome ``trace_event`` JSON loadable
+  in chrome://tracing / Perfetto.
 """
 
 from __future__ import annotations
@@ -44,6 +48,22 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
+def _add_run_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    duration: float,
+    replicas: int,
+    partitions: int = 2,
+) -> None:
+    """Workload/run flags shared by the ``chaos`` and ``trace`` commands."""
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--duration", type=float, default=duration,
+                        help="measured virtual seconds")
+    parser.add_argument("--replicas", type=int, default=replicas,
+                        help="replica count (paxos replication when > 1)")
+    parser.add_argument("--partitions", type=int, default=partitions)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,14 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos.add_argument("--profile", default="chaos-mix",
                        choices=sorted(FAULT_PROFILES))
-    chaos.add_argument("--seed", type=int, default=2012)
-    chaos.add_argument("--duration", type=float, default=0.8,
-                       help="measured virtual seconds (faults span 85%% of it)")
-    chaos.add_argument("--replicas", type=int, default=2,
-                       help="replica count (paxos replication when > 1)")
-    chaos.add_argument("--partitions", type=int, default=2)
+    _add_run_flags(chaos, duration=0.8, replicas=2)
     chaos.add_argument("--trace", action="store_true",
                        help="print the full fault trace, not just its digest")
+
+    trace = sub.add_parser(
+        "trace", help="trace the microbenchmark and print latency breakdowns"
+    )
+    trace.add_argument("--system", default="both",
+                       choices=("calvin", "baseline", "both"))
+    trace.add_argument("--format", default="summary",
+                       choices=("summary", "chrome"),
+                       help="summary = per-phase latency table; "
+                            "chrome = trace_event JSON for chrome://tracing")
+    trace.add_argument("--out", metavar="FILE",
+                       help="write the chrome trace JSON to FILE")
+    trace.add_argument("--mp-fraction", type=float, default=0.3,
+                       help="multipartition transaction fraction")
+    trace.add_argument("--profile", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="also inject a fault profile (calvin only)")
+    _add_run_flags(trace, duration=0.5, replicas=1)
 
     compare = sub.add_parser(
         "compare", help="diff two archived experiment JSONs for regressions"
@@ -202,6 +235,80 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_microbenchmark(system: str, args: argparse.Namespace):
+    """Run one system's microbenchmark with a live tracer; returns the tracer."""
+    from repro.config import ClusterConfig
+    from repro.obs import TraceRecorder
+    from repro.workloads.microbenchmark import Microbenchmark
+
+    tracer = TraceRecorder()
+    workload = Microbenchmark(
+        mp_fraction=args.mp_fraction, hot_set_size=10, cold_set_size=100
+    )
+    if system == "calvin":
+        from repro.core.cluster import CalvinCluster
+
+        config = ClusterConfig(
+            num_partitions=args.partitions,
+            num_replicas=args.replicas,
+            replication_mode="paxos" if args.replicas > 1 else "none",
+            seed=args.seed,
+            fault_profile=args.profile,
+            fault_horizon=args.duration * 0.85,
+        )
+        cluster = CalvinCluster(config, workload=workload, tracer=tracer)
+    else:
+        from repro.baseline.cluster import BaselineCluster
+
+        # The baseline models a single replica; fault profiles are a
+        # Calvin-cluster feature, so they apply to the calvin run only.
+        config = ClusterConfig(
+            num_partitions=args.partitions, num_replicas=1, seed=args.seed
+        )
+        cluster = BaselineCluster(config, workload=workload, tracer=tracer)
+    cluster.load_workload_data()
+    cluster.add_clients(4, max_txns=20)
+    cluster.run(duration=args.duration)
+    cluster.quiesce()
+    return tracer
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import chrome_trace, summary_table, write_chrome_trace
+
+    systems = ("calvin", "baseline") if args.system == "both" else (args.system,)
+    # With --format=chrome and no --out, stdout must stay pure JSON.
+    quiet = args.format == "chrome" and not args.out
+    runs = {}
+    for system in systems:
+        if not quiet:
+            print(f"tracing {system}: microbenchmark, seed {args.seed}, "
+                  f"{args.duration}s of virtual time...")
+        runs[system] = _traced_microbenchmark(system, args)
+
+    if args.format == "chrome":
+        traces = {name: tracer.spans for name, tracer in runs.items()}
+        if args.out:
+            path = write_chrome_trace(traces, args.out)
+            spans = sum(len(tracer) for tracer in runs.values())
+            print(f"wrote {path} ({spans} spans) — "
+                  "load in chrome://tracing or ui.perfetto.dev")
+        else:
+            print(json.dumps(chrome_trace(traces)))
+        return 0
+
+    for name, tracer in runs.items():
+        kinds = sorted({span.kind.value for span in tracer.spans})
+        print()
+        print(summary_table(tracer.spans, title=name))
+        print(f"{len(tracer)} spans over {len(kinds)} phases; "
+              f"trace digest {tracer.digest()}")
+    print("\nrerun with the same seed to reproduce these digests bit-for-bit")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -213,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_demo()
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 

@@ -15,6 +15,7 @@ from repro.core.clients import ClosedLoopClient
 from repro.core.metrics import Metrics, RunReport
 from repro.core.node import CalvinNode
 from repro.errors import ConfigError, RecoveryError
+from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId
 from repro.partition.partitioner import Key, Partitioner
 from repro.sim.events import Event
@@ -49,6 +50,7 @@ class CalvinCluster:
         record_history: bool = True,
         fault_plan: Optional["FaultPlan"] = None,
         monitor_interval: Optional[float] = None,
+        tracer: Optional[TraceRecorder] = None,
     ):
         config.validate()
         self.config = config
@@ -68,7 +70,14 @@ class CalvinCluster:
         self.sim = Simulator()
         self.rngs = RngStreams(config.seed)
         self.network = Network(self.sim, self._build_topology())
-        self.metrics = Metrics()
+        # Observability: a no-op recorder unless the caller wants spans
+        # (zero overhead when off), and one registry for every component's
+        # tallies plus the transaction-outcome instruments.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.metrics_registry = MetricsRegistry()
+        self.sim.register_metrics(self.metrics_registry)
+        self.network.register_metrics(self.metrics_registry)
+        self.metrics = Metrics(registry=self.metrics_registry)
         self.record_history = record_history
         self.history: List[HistoryEntry] = []
 
@@ -92,7 +101,17 @@ class CalvinCluster:
                 # Traces on every replica: the live fault checkers compare
                 # peer replicas' executed prefixes against replica 0's.
                 record_trace=record_history,
+                tracer=self.tracer,
             )
+        for node_id, node in self.nodes.items():
+            prefix = f"node.r{node_id.replica}p{node_id.partition}"
+            node.sequencer.register_metrics(self.metrics_registry, prefix)
+            node.scheduler.register_metrics(self.metrics_registry, prefix)
+            if node.engine.disk is not None:
+                node.engine.disk.register_metrics(self.metrics_registry, f"{prefix}.disk")
+            participant = getattr(node.sequencer.replication, "participant", None)
+            if participant is not None:
+                participant.register_metrics(self.metrics_registry, f"{prefix}.paxos")
 
         self.clients: List[ClosedLoopClient] = []
         self.checkpoints: Dict[int, CheckpointSnapshot] = {}

@@ -9,9 +9,9 @@ into the numbers the benchmark harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.sim.stats import LatencySample, ThroughputSeries
+from repro.obs import MetricsRegistry
 from repro.txn.result import TransactionResult, TxnStatus
 
 
@@ -43,35 +43,55 @@ class RunReport:
 
 
 class Metrics:
-    """Mutable collector; one per cluster."""
+    """Mutable collector; one per cluster.
 
-    def __init__(self, bucket_width: float = 0.05):
-        self.throughput = ThroughputSeries(bucket_width)
-        self.latency = LatencySample()
-        self.sequencing = LatencySample()
-        self.execution = LatencySample()
-        self.committed = 0
-        self.aborted = 0
-        self.restarts = 0
+    All instruments live in a :class:`MetricsRegistry` (one is created if
+    the cluster does not supply a shared one), so ``registry.snapshot()``
+    covers transaction outcomes alongside component tallies. The familiar
+    ``committed``/``aborted``/``restarts`` ints remain readable as
+    properties over the underlying counters.
+    """
+
+    def __init__(self, bucket_width: float = 0.05, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.throughput = self.registry.series("txn.throughput", bucket_width)
+        self.latency = self.registry.histogram("txn.latency")
+        self.sequencing = self.registry.histogram("txn.sequencing")
+        self.execution = self.registry.histogram("txn.execution")
+        self._committed = self.registry.counter("txn.committed")
+        self._aborted = self.registry.counter("txn.aborted")
+        self._restarts = self.registry.counter("txn.restarts")
         self.per_procedure: Dict[str, int] = {}
         # Client latency samples are only taken inside the measurement
         # window; until begin_window() nothing qualifies (warm-up and
         # cold-start latencies would otherwise pollute the percentiles).
         self.window_start = float("inf")
 
+    @property
+    def committed(self) -> int:
+        return self._committed.value
+
+    @property
+    def aborted(self) -> int:
+        return self._aborted.value
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts.value
+
     def record_completion(self, procedure: str, result: TransactionResult, now: float) -> None:
         """Record a terminal execution (called on the reply partition)."""
         if result.status is TxnStatus.COMMITTED:
-            self.committed += 1
+            self._committed.increment()
             self.throughput.record(now)
             self.per_procedure[procedure] = self.per_procedure.get(procedure, 0) + 1
             if result.granted_time:
                 self.sequencing.add(result.sequencing_latency)
                 self.execution.add(result.execution_latency)
         elif result.status is TxnStatus.ABORTED:
-            self.aborted += 1
+            self._aborted.increment()
         else:
-            self.restarts += 1
+            self._restarts.increment()
 
     def record_latency(self, latency: float) -> None:
         """Record a client-observed latency (client side, replica 0)."""

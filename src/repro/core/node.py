@@ -19,6 +19,7 @@ from repro.net.messages import (
     SubBatch,
     TxnReply,
 )
+from repro.obs import CAT_NODE, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.paxos.messages import Accept, Accepted, Learn, Nack, Prepare, Promise
 from repro.scheduler.scheduler import Scheduler
@@ -66,12 +67,14 @@ class CalvinNode:
         cold_predicate=None,
         on_complete: Optional[Callable] = None,
         record_trace: bool = False,
+        tracer: TraceRecorder = NULL_RECORDER,
     ):
         self.sim = sim
         self.network = network
         self.node_id = node_id
         self.catalog = catalog
         self.config = config
+        self.tracer = tracer
         self.address = node_address(node_id)
         # Before the components: Paxos leader election sends during
         # sequencer construction, and send() consults the crash flag.
@@ -86,6 +89,8 @@ class CalvinNode:
             rngs.stream("disk", node_id.replica, node_id.partition),
             disk_enabled=config.disk_enabled,
             cold_predicate=cold_predicate,
+            tracer=tracer,
+            replica=node_id.replica,
         )
         self.input_log = InputLog()
         self.scheduler = Scheduler(
@@ -98,6 +103,7 @@ class CalvinNode:
             send=self.send,
             on_complete=on_complete,
             record_trace=record_trace,
+            tracer=tracer,
         )
         self.sequencer = Sequencer(
             sim,
@@ -108,6 +114,7 @@ class CalvinNode:
             input_log=self.input_log,
             engine=self.engine,
             replication=self._make_replication(),
+            tracer=tracer,
         )
         network.register(self.address, self.handle_message)
         self._checkpointing = False
@@ -217,6 +224,16 @@ class CalvinNode:
             quiesced.add_callback(lambda _e: self._run_zigzag(epoch, done))
         return done
 
+    def _record_checkpoint_span(self, start: float, mode: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.record(
+                SpanKind.CHECKPOINT, start, self.sim.now,
+                cat=CAT_NODE,
+                replica=self.node_id.replica,
+                partition=self.node_id.partition,
+                detail=mode,
+            )
+
     def _run_naive(self, epoch: int, done: Event) -> None:
         checkpointer = NaiveCheckpointer(self.store, self.node_id.partition)
         duration = checkpointer.dump_duration(self.config.costs.checkpoint_record_cpu)
@@ -226,6 +243,7 @@ class CalvinNode:
 
     def _finish_naive(self, snapshot: CheckpointSnapshot, done: Event) -> None:
         snapshot.finished_at = self.sim.now
+        self._record_checkpoint_span(snapshot.started_at, "naive")
         self.scheduler.resume()
         self._checkpointing = False
         done.succeed(snapshot)
@@ -238,6 +256,7 @@ class CalvinNode:
 
     def _zigzag_dumper(self, checkpointer: ZigZagCheckpointer, done: Event):
         record_cpu = self.config.costs.checkpoint_record_cpu
+        dump_start = self.sim.now
         while checkpointer.pending:
             # The dumper competes with transaction execution for a
             # worker slot — this is the Figure 8 throughput dip.
@@ -246,5 +265,6 @@ class CalvinNode:
             yield self.sim.timeout(max(1e-9, emitted * record_cpu))
             self.scheduler.workers.release()
         snapshot = checkpointer.finish(self.sim.now)
+        self._record_checkpoint_span(dump_start, "zigzag")
         self._checkpointing = False
         done.succeed(snapshot)

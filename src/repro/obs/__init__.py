@@ -1,0 +1,50 @@
+"""Sim-time observability: transaction tracing, metrics, exporters.
+
+The subsystem has three parts:
+
+- **spans/recorder** — per-transaction traces with typed spans
+  (sequence, replicate, dispatch, lock-wait, remote-read-wait, execute,
+  disk, apply, checkpoint) carrying virtual-time start/end and
+  node/partition tags. Pass a :class:`TraceRecorder` to a cluster to
+  turn tracing on; the default :data:`NULL_RECORDER` is a no-op that
+  adds zero overhead and zero simulation events.
+- **registry** — a :class:`MetricsRegistry` of named counters, gauges,
+  histograms and throughput series that components register into.
+- **export** — Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto), text latency-breakdown tables, and deterministic trace
+  digests for regression tests.
+
+See ``docs/observability.md`` for the span taxonomy and CLI examples.
+"""
+
+from repro.obs.export import (
+    breakdown,
+    chrome_trace,
+    phase_means,
+    summary_table,
+    trace_digest,
+    write_chrome_trace,
+)
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from repro.obs.registry import Gauge, MetricsRegistry
+from repro.obs.spans import CAT_DEVICE, CAT_EPOCH, CAT_NODE, CAT_TXN, Span, SpanKind
+
+__all__ = [
+    "CAT_DEVICE",
+    "CAT_EPOCH",
+    "CAT_NODE",
+    "CAT_TXN",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "SpanKind",
+    "TraceRecorder",
+    "breakdown",
+    "chrome_trace",
+    "phase_means",
+    "summary_table",
+    "trace_digest",
+    "write_chrome_trace",
+]

@@ -1,0 +1,145 @@
+"""Trace recorders: the live collector and its zero-overhead stand-in.
+
+Components hold a recorder reference and guard every instrumentation
+site with ``if tracer.enabled:`` — with the :data:`NULL_RECORDER` that
+check is one attribute read and the branch is never taken, so tracing
+off adds no simulation events, consumes no randomness, and perturbs
+nothing (a hard requirement: trace-off runs must be bit-identical to
+pre-instrumentation runs).
+
+Recording is purely passive: a span is appended with timestamps the
+caller already observed. Because the simulator dispatches events in a
+deterministic order, the span list (and therefore the trace digest) is
+bit-identical across same-seed runs.
+
+*Marks* are the cross-component handshake: a producer stamps a named
+virtual time (e.g. the sequencer marking when an epoch batch was
+published) and a consumer later turns it into a span (the scheduler
+closing the replicate/dispatch interval when the sub-batch arrives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, List, Optional
+
+from repro.obs.spans import Span, SpanKind
+
+
+class TraceRecorder:
+    """Collects spans for one run. One instance per cluster (or pair of
+    clusters, when comparing systems — spans are tagged by node)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._marks: Dict[Hashable, float] = {}
+
+    # -- spans ------------------------------------------------------------
+
+    def record(
+        self,
+        kind: SpanKind,
+        start: float,
+        end: float,
+        *,
+        cat: str = "txn",
+        replica: Optional[int] = None,
+        partition: Optional[int] = None,
+        txn_id: Optional[int] = None,
+        seq=None,
+        detail=None,
+    ) -> None:
+        """Append one completed span."""
+        self.spans.append(
+            Span(
+                kind=kind,
+                start=start,
+                end=end,
+                cat=cat,
+                replica=replica,
+                partition=partition,
+                txn_id=txn_id,
+                seq=seq,
+                detail=detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def spans_of(self, kind: SpanKind) -> List[Span]:
+        return [span for span in self.spans if span.kind is kind]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._marks.clear()
+
+    # -- marks (cross-component span boundaries) ---------------------------
+
+    def mark(self, key: Hashable, time: float) -> None:
+        """Stamp a named virtual time for a later :meth:`record` call."""
+        self._marks[key] = time
+
+    def take_mark(self, key: Hashable) -> Optional[float]:
+        """Consume a mark (single-consumer boundaries)."""
+        return self._marks.pop(key, None)
+
+    def peek_mark(self, key: Hashable) -> Optional[float]:
+        """Read a mark without consuming it (multi-consumer boundaries,
+        e.g. every replica closes its own replicate span per epoch)."""
+        return self._marks.get(key)
+
+    # -- reproducibility ----------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable hash of every recorded span, in record order.
+
+        Same seed (and same fault plan) ⇒ identical simulation ⇒
+        identical digest; any timing or ordering change flips it.
+        """
+        payload = repr([span.canonical() for span in self.spans]).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+
+class NullRecorder:
+    """The no-op recorder: tracing off.
+
+    Every method is a no-op and ``enabled`` is False, so instrumented
+    components skip even the argument construction for span records.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def record(self, *args, **kwargs) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def spans_of(self, kind: SpanKind) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def mark(self, key: Hashable, time: float) -> None:
+        pass
+
+    def take_mark(self, key: Hashable) -> None:
+        return None
+
+    def peek_mark(self, key: Hashable) -> None:
+        return None
+
+    def digest(self) -> str:
+        return hashlib.sha256(b"[]").hexdigest()
+
+
+NULL_RECORDER = NullRecorder()

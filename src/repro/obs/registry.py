@@ -1,0 +1,153 @@
+"""A registry of named metric instruments.
+
+Components register counters, gauges, histograms and throughput series
+under dotted names (``net.messages_sent``, ``node.r0p1.sched.admitted``)
+instead of keeping ad-hoc private tallies, so one ``snapshot()`` call
+yields every number a run produced. Gauges may be *callable-backed*:
+they read an existing attribute lazily at snapshot time, which lets hot
+paths keep their plain-int counters (zero overhead) while still being
+observable through the registry.
+
+The instrument types for counters, histograms and series are the ones
+from :mod:`repro.sim.stats`; the registry is how benchmark and test code
+is meant to reach them (never via private fields).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.sim.stats import Counter, LatencySample, ThroughputSeries
+
+
+class Gauge:
+    """A point-in-time value: settable, or backed by a read callable."""
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._fn = fn
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ConfigError(f"gauge {self.name!r} is callable-backed; cannot set")
+        self._value = value
+
+    def reset(self) -> None:
+        if self._fn is None:
+            self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+Instrument = Union[Counter, Gauge, LatencySample, ThroughputSeries]
+
+
+class MetricsRegistry:
+    """Named instruments for one cluster (or one run)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- registration (create-or-return, type-checked) ---------------------
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None and gauge._fn is None:
+            # Re-registration upgrading a settable gauge is a conflict.
+            raise ConfigError(f"gauge {name!r} already registered as settable")
+        return gauge
+
+    def histogram(self, name: str) -> LatencySample:
+        return self._get_or_create(name, LatencySample, lambda: LatencySample(name))
+
+    def series(self, name: str, bucket_width: float = 0.1) -> ThroughputSeries:
+        return self._get_or_create(
+            name, ThroughputSeries, lambda: ThroughputSeries(bucket_width, name)
+        )
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> Instrument:
+        try:
+            return self._instruments[name]
+        except KeyError:
+            raise ConfigError(f"no metric registered under {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self):
+        return sorted(self._instruments)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument to numbers (histograms expand to
+        count/mean/p50/p99/max sub-keys)."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, LatencySample):
+                out[f"{name}.count"] = instrument.count
+                out[f"{name}.mean"] = instrument.mean
+                out[f"{name}.p50"] = instrument.percentile(50)
+                out[f"{name}.p99"] = instrument.percentile(99)
+                out[f"{name}.max"] = instrument.maximum
+            elif isinstance(instrument, ThroughputSeries):
+                out[f"{name}.total"] = instrument.total
+            else:
+                out[name] = instrument.value
+        return out
+
+    def reset(self) -> None:
+        """Reset every resettable instrument (callable-backed gauges keep
+        reflecting their source attribute)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's same-named instruments into this one.
+
+        Used to aggregate per-shard or per-run registries; instruments
+        present only in ``other`` are adopted by reference. Gauges are
+        skipped (a point-in-time value has no meaningful sum).
+        """
+        for name, theirs in other._instruments.items():
+            if isinstance(theirs, Gauge):
+                continue
+            mine = self._instruments.get(name)
+            if mine is None:
+                self._instruments[name] = theirs
+                continue
+            if type(mine) is not type(theirs):
+                raise ConfigError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(mine).__name__} vs {type(theirs).__name__}"
+                )
+            mine.merge(theirs)

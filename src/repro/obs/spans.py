@@ -1,0 +1,104 @@
+"""The span/trace model of the sim-time observability subsystem.
+
+A *span* is one closed interval of virtual time attributed to a phase of
+the transaction pipeline (the paper's Figure 2 stages): where simulated
+time goes between a client submitting a transaction and its reply.
+Spans carry node/partition tags and, for per-transaction phases, the
+transaction id and global sequence number, so a trace can be sliced
+per transaction, per node, or per phase.
+
+The taxonomy mirrors Calvin's critical path; the 2PC baseline emits the
+same kinds where the phase has a direct analogue (lock acquisition,
+remote reads, log forces, write application), which is what makes the
+Calvin-vs-baseline latency breakdowns directly comparable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+class SpanKind(enum.Enum):
+    """Typed pipeline phases. Values are the stable wire/report names."""
+
+    # Submit arrival at the sequencer -> epoch batch close (epoch wait).
+    SEQUENCE = "sequence"
+    # Epoch batch close -> batch agreed/durable and dispatchable at a
+    # replica (Paxos agreement, async ship, or input-log force). The
+    # baseline emits this for its 2PC prepare round — both are "make the
+    # decision durable before applying it".
+    REPLICATE = "replicate"
+    # Sequencer dispatch -> sub-batch arrival at one scheduler.
+    DISPATCH = "dispatch"
+    # Scheduler admission -> all local locks granted.
+    LOCK_WAIT = "lock-wait"
+    # Blocked on another participant's read results (Calvin phase 4 /
+    # baseline coordinator waiting for participant reads).
+    REMOTE_READ_WAIT = "remote-read-wait"
+    # On-CPU transaction work: local reads, remote-read serving.
+    EXECUTE = "execute"
+    # Disk time: prefetch deferral, cold-read stalls, device fetches,
+    # baseline log forces.
+    DISK = "disk"
+    # Procedure logic + write application (commit apply).
+    APPLY = "apply"
+    # Checkpoint activity on a node (naive freeze or zigzag dump).
+    CHECKPOINT = "checkpoint"
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return self.value
+
+
+# Span categories: which unit of work the interval is attributed to.
+CAT_TXN = "txn"        # one transaction on one node
+CAT_EPOCH = "epoch"    # one epoch batch (sequence-order plumbing)
+CAT_DEVICE = "device"  # a storage device operation
+CAT_NODE = "node"      # node-scoped background work (checkpoints)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of virtual time, fully determined at record time."""
+
+    kind: SpanKind
+    start: float
+    end: float
+    cat: str = CAT_TXN
+    replica: Optional[int] = None
+    partition: Optional[int] = None
+    txn_id: Optional[int] = None
+    seq: Optional[Tuple[int, int, int]] = None
+    detail: Any = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def canonical(self) -> Tuple:
+        """A stable tuple used for digests and regression comparisons.
+
+        Times are rounded to nanosecond precision so the digest is
+        insensitive to float repr differences across Python versions
+        while still catching any real timing change.
+        """
+        return (
+            self.kind.value,
+            self.cat,
+            round(self.start, 9),
+            round(self.end, 9),
+            self.replica,
+            self.partition,
+            self.txn_id,
+            self.seq,
+            self.detail,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        who = f"r{self.replica}p{self.partition}"
+        tag = f" txn={self.txn_id}" if self.txn_id is not None else ""
+        return (
+            f"<Span {self.kind.value} {who}{tag} "
+            f"[{self.start * 1e3:.3f}ms, {self.end * 1e3:.3f}ms]>"
+        )

@@ -70,6 +70,11 @@ class PaxosParticipant:
         self._deliver_cursor = 0
 
         self.decided_count = 0
+        # Protocol tallies (exposed through register_metrics).
+        self.elections_started = 0
+        self.accepts_sent = 0
+        self.nacks_received = 0
+        self.step_downs = 0
         if is_initial_leader:
             self._start_election()
 
@@ -133,9 +138,19 @@ class PaxosParticipant:
             sent += 1
         return sent
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose protocol tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.decided", lambda: self.decided_count)
+        registry.gauge(f"{prefix}.elections", lambda: self.elections_started)
+        registry.gauge(f"{prefix}.accepts_sent", lambda: self.accepts_sent)
+        registry.gauge(f"{prefix}.nacks_received", lambda: self.nacks_received)
+        registry.gauge(f"{prefix}.step_downs", lambda: self.step_downs)
+        registry.gauge(f"{prefix}.leading", lambda: 1.0 if self.leading else 0.0)
+
     # -- proposer ---------------------------------------------------------
 
     def _start_election(self) -> None:
+        self.elections_started += 1
         self._electing = True
         self.leading = False
         self.ballot = (self.ballot[0] + 1, self.member_id)
@@ -186,6 +201,7 @@ class PaxosParticipant:
             instance = self._next_instance
         self._next_instance = max(self._next_instance, instance + 1)
         self._inflight[instance] = {"value": value, "acks": set(), "chosen": False}
+        self.accepts_sent += 1
         accept = Accept(self.ballot, instance, value)
         for member in self.group:
             self._send(member, accept)
@@ -208,6 +224,7 @@ class PaxosParticipant:
             del self._inflight[message.instance]
 
     def _on_nack(self, message: Nack) -> None:
+        self.nacks_received += 1
         if message.ballot != self.ballot:
             return
         self.ballot = (max(self.ballot[0], message.promised[0]), self.member_id)
@@ -225,6 +242,7 @@ class PaxosParticipant:
         re-fills holes as needed (requeuing them at fresh instances
         would mint new holes without bound).
         """
+        self.step_downs += 1
         self.leading = False
         requeue = [
             self._inflight.pop(instance)["value"]

@@ -15,6 +15,7 @@ from typing import Any, Dict, TYPE_CHECKING
 
 from repro.errors import TransactionAborted
 from repro.net.messages import RemoteRead, TxnReply
+from repro.obs import SpanKind
 from repro.partition.catalog import NodeId, node_address
 from repro.txn.context import TxnContext
 from repro.txn.result import TransactionResult, TxnStatus
@@ -54,6 +55,9 @@ class Executor:
             key=repr,
         )
 
+        tracer = sched.tracer
+        replica, txn_id = sched.node_id.replica, txn.txn_id
+
         yield sched.workers.request()
 
         # Stall on any still-cold local data (only happens when the
@@ -62,7 +66,15 @@ class Executor:
         # worker: exactly the stall Calvin's prefetching exists to avoid.
         cold = sched.engine.cold_keys_of(local_read_keys)
         if cold:
+            stall_start = sim.now
             yield sim.all_of([sched.engine.fetch(key) for key in cold])
+            if tracer.enabled:
+                tracer.record(
+                    SpanKind.DISK, stall_start, sim.now,
+                    replica=replica, partition=mine,
+                    txn_id=txn_id, seq=seq, detail="cold-stall",
+                )
+        exec_start = sim.now
 
         # Phase 2 — perform local reads.
         cpu = costs.txn_base_cpu + costs.read_cpu * len(local_read_keys)
@@ -84,6 +96,15 @@ class Executor:
                     target = NodeId(sched.node_id.replica, partition)
                     sched.send(node_address(target), message, message.size_estimate())
 
+            if tracer.enabled:
+                # Phases 2-3 (local reads + serving remote readers) are
+                # on-CPU work, including the wait for a worker slot.
+                tracer.record(
+                    SpanKind.EXECUTE, exec_start, sim.now,
+                    replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                    detail="passive" if not is_active else None,
+                )
+
             if not is_active:
                 # Passive participant: its job ends here.
                 sched.workers.release()
@@ -95,19 +116,36 @@ class Executor:
             # the wait (threads block; CPUs don't), locks stay held.
             expected = reader_partitions - {mine}
             if not expected.issubset(sched.remote_reads_for(seq)):
+                wait_start = sim.now
                 sched.workers.release()
                 while not expected.issubset(sched.remote_reads_for(seq)):
                     yield sched.remote_read_arrival(seq)
                 yield sched.workers.request()
+                if tracer.enabled:
+                    tracer.record(
+                        SpanKind.REMOTE_READ_WAIT, wait_start, sim.now,
+                        replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                    )
             reads = dict(local_values)
             for values in sched.remote_reads_for(seq).values():
                 reads.update(values)
                 messages_received += 1
         else:
             yield sim.timeout(cpu)
+            if tracer.enabled:
+                tracer.record(
+                    SpanKind.EXECUTE, exec_start, sim.now,
+                    replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                )
 
         # Phase 5 — execute logic, apply local writes.
+        apply_start = sim.now
         result = yield from self._execute_logic(reads, messages_received)
+        if tracer.enabled:
+            tracer.record(
+                SpanKind.APPLY, apply_start, sim.now,
+                replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+            )
         sched.workers.release()
         report = result if mine == txn.reply_partition(catalog) else None
         if report is not None and txn.client is not None and sched.node_id.replica == 0:

@@ -21,6 +21,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, TYPE_
 from repro.config import ClusterConfig
 from repro.errors import SchedulerError
 from repro.net.messages import RemoteRead, SubBatch
+from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.partition.partitioner import stable_hash
 from repro.scheduler.executor import Executor
@@ -52,8 +53,10 @@ class Scheduler:
         send: SendFn,
         on_complete: Optional[CompletionHook] = None,
         record_trace: bool = False,
+        tracer: TraceRecorder = NULL_RECORDER,
     ):
         self.sim = sim
+        self.tracer = tracer
         self.node_id = node_id
         self.catalog = catalog
         self.config = config
@@ -130,6 +133,22 @@ class Scheduler:
                 f"origin={batch.origin_partition} at {self.node_id}"
             )
         per_epoch[batch.origin_partition] = batch
+        if self.tracer.enabled:
+            dispatched = self.tracer.peek_mark(
+                ("dispatch", self.node_id.replica, batch.origin_partition, batch.epoch)
+            )
+            if dispatched is not None:
+                # Sequencer dispatch -> arrival at this scheduler:
+                # serialization delay plus the network hop.
+                self.tracer.record(
+                    SpanKind.DISPATCH,
+                    dispatched,
+                    self.sim.now,
+                    cat=CAT_EPOCH,
+                    replica=self.node_id.replica,
+                    partition=self.node_id.partition,
+                    detail=(batch.epoch, batch.origin_partition),
+                )
         self._advance_epochs()
 
     def _advance_epochs(self) -> None:
@@ -154,6 +173,8 @@ class Scheduler:
         # CPU for its own keys, so shards lift the admission ceiling.
         while self._admission:
             stxn = self._admission.popleft()
+            if self.tracer.enabled:
+                self.tracer.mark(("admit", self.node_id, stxn.seq), self.sim.now)
             read_keys, write_keys = self.local_footprint(stxn)
             shards: Dict[int, List] = {}
             for key in read_keys:
@@ -222,6 +243,20 @@ class Scheduler:
     # -- execution -----------------------------------------------------------
 
     def _on_locks_ready(self, stxn: SequencedTxn) -> None:
+        if self.tracer.enabled:
+            admitted = self.tracer.take_mark(("admit", self.node_id, stxn.seq))
+            if admitted is not None:
+                # Admission -> last local lock granted: lock-manager CPU
+                # plus queueing behind conflicting earlier transactions.
+                self.tracer.record(
+                    SpanKind.LOCK_WAIT,
+                    admitted,
+                    self.sim.now,
+                    replica=self.node_id.replica,
+                    partition=self.node_id.partition,
+                    txn_id=stxn.txn.txn_id,
+                    seq=stxn.seq,
+                )
         executor = Executor(self, stxn)
         process = self.sim.process(executor.run())
         process.add_callback(self._executor_finished)
@@ -352,3 +387,16 @@ class Scheduler:
     @property
     def paused(self) -> bool:
         return self._pause_epoch is not None
+
+    # -- observability --------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose this scheduler's tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.sched.admitted", lambda: self.admitted)
+        registry.gauge(f"{prefix}.sched.completed", lambda: self.completed)
+        registry.gauge(f"{prefix}.sched.outstanding", lambda: self.outstanding)
+        registry.gauge(f"{prefix}.sched.backlog", lambda: self.admission_backlog)
+        registry.gauge(f"{prefix}.locks.grants", lambda: self.locks.grants)
+        registry.gauge(
+            f"{prefix}.locks.immediate_grants", lambda: self.locks.immediate_grants
+        )

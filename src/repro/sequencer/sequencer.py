@@ -14,6 +14,7 @@ from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.config import ClusterConfig
 from repro.net.messages import PrefetchRequest, ReplicaBatch, SubBatch
+from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.sequencer.replication import ReplicationStrategy
 from repro.storage.inputlog import InputLog, LogEntry
@@ -39,8 +40,10 @@ class Sequencer:
         input_log: InputLog,
         engine: "StorageEngine",
         replication: ReplicationStrategy,
+        tracer: TraceRecorder = NULL_RECORDER,
     ):
         self.sim = sim
+        self.tracer = tracer
         self.node_id = node_id
         self.catalog = catalog
         self.config = config
@@ -101,6 +104,10 @@ class Sequencer:
             # would double-apply it, so admission is idempotent per txn id.
             return
         self._seen_txn_ids.add(txn.txn_id)
+        if self.tracer.enabled:
+            # Arrival at the sequencer opens the sequence (epoch-wait)
+            # span; a disk deferral re-stamps it on re-admission.
+            self.tracer.mark(("seq-arrival", txn.txn_id), self.sim.now)
         if self.config.disk_enabled:
             cold = self._cold_keys(txn)
             if cold:
@@ -131,6 +138,21 @@ class Sequencer:
         self.sim.schedule(delay, self._admit_deferred, txn)
 
     def _admit_deferred(self, txn: Transaction) -> None:
+        if self.tracer.enabled:
+            # The deferral window is disk time: the transaction waited
+            # out the expected prefetch latency before joining an epoch.
+            start = self.tracer.take_mark(("seq-arrival", txn.txn_id))
+            if start is not None:
+                self.tracer.record(
+                    SpanKind.DISK,
+                    start,
+                    self.sim.now,
+                    replica=self.node_id.replica,
+                    partition=self.node_id.partition,
+                    txn_id=txn.txn_id,
+                    detail="prefetch-defer",
+                )
+            self.tracer.mark(("seq-arrival", txn.txn_id), self.sim.now)
         # Note: must go through self so it lands in the *current* epoch
         # buffer (the buffer list is rebound at every epoch tick).
         self._buffer.append(txn)
@@ -142,6 +164,21 @@ class Sequencer:
         self._epoch += 1
         batch, self._buffer = tuple(self._buffer), []
         self.txns_sequenced += len(batch)
+        if self.tracer.enabled:
+            for txn in batch:
+                start = self.tracer.take_mark(("seq-arrival", txn.txn_id))
+                self.tracer.record(
+                    SpanKind.SEQUENCE,
+                    txn.submit_time if start is None else start,
+                    self.sim.now,
+                    replica=self.node_id.replica,
+                    partition=self.node_id.partition,
+                    txn_id=txn.txn_id,
+                    detail=epoch,
+                )
+            # Publish time opens the replicate span; every replica's
+            # dispatch of this epoch closes its own copy.
+            self.tracer.mark(("publish", self.node_id.partition, epoch), self.sim.now)
         if self._force_log is not None:
             # Durability before visibility: the batch reaches the
             # schedulers only once its input records are on stable
@@ -172,6 +209,23 @@ class Sequencer:
         origin = self.node_id.partition
         self.input_log.append(LogEntry(epoch, origin, txns))
         self.batches_dispatched += 1
+        if self.tracer.enabled:
+            published = self.tracer.peek_mark(("publish", origin, epoch))
+            if published is not None:
+                # Publish -> dispatchable here: Paxos agreement, the
+                # async WAN ship, or the input-log force (mode "none").
+                self.tracer.record(
+                    SpanKind.REPLICATE,
+                    published,
+                    self.sim.now,
+                    cat=CAT_EPOCH,
+                    replica=self.node_id.replica,
+                    partition=origin,
+                    detail=epoch,
+                )
+            self.tracer.mark(
+                ("dispatch", self.node_id.replica, origin, epoch), self.sim.now
+            )
 
         per_partition: List[List[SequencedTxn]] = [
             [] for _ in range(self.catalog.num_partitions)
@@ -226,6 +280,14 @@ class Sequencer:
 
     def handle_paxos(self, src_member: int, message: Any) -> None:
         self.replication.handle_paxos(src_member, message)
+
+    # -- observability --------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose this sequencer's tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.seq.txns_sequenced", lambda: self.txns_sequenced)
+        registry.gauge(f"{prefix}.seq.txns_deferred", lambda: self.txns_deferred)
+        registry.gauge(f"{prefix}.seq.batches_dispatched", lambda: self.batches_dispatched)
 
     def peer_replica_nodes(self) -> List[NodeId]:
         """Same-partition nodes in the other replicas."""

@@ -169,3 +169,9 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of entries currently queued."""
         return len(self._heap)
+
+    def register_metrics(self, registry, prefix: str = "sim") -> None:
+        """Expose kernel tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.events_executed", lambda: self.events_executed)
+        registry.gauge(f"{prefix}.pending_events", lambda: self.pending_events)
+        registry.gauge(f"{prefix}.now", lambda: self.now)

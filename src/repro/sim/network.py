@@ -186,3 +186,12 @@ class Network:
         handler = self._handlers.get(dst)
         if handler is not None:
             handler(src, message)
+
+    def register_metrics(self, registry, prefix: str = "net") -> None:
+        """Expose transport tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.messages_sent", lambda: self.messages_sent)
+        registry.gauge(f"{prefix}.bytes_sent", lambda: self.bytes_sent)
+        registry.gauge(f"{prefix}.messages_dropped", lambda: self.messages_dropped)
+        registry.gauge(f"{prefix}.messages_held", lambda: self.messages_held)
+        registry.gauge(f"{prefix}.messages_duplicated", lambda: self.messages_duplicated)
+        registry.gauge(f"{prefix}.messages_delayed", lambda: self.messages_delayed)

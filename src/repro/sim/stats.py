@@ -21,6 +21,14 @@ class Counter:
     def increment(self, amount: int = 1) -> None:
         self.value += amount
 
+    def reset(self) -> None:
+        """Zero the counter (start of a new measurement window)."""
+        self.value = 0
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's count into this one."""
+        self.value += other.value
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -28,12 +36,29 @@ class Counter:
 class LatencySample:
     """Collects latency observations; exact percentiles on demand."""
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
         self._values: List[float] = []
         self._sorted = True
 
     def add(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = False
+
+    def values(self) -> Tuple[float, ...]:
+        """The raw observations, in insertion order before the first
+        percentile query (sorted after). Public accessor so consumers
+        never reach into ``_values``."""
+        return tuple(self._values)
+
+    def reset(self) -> None:
+        """Drop all observations."""
+        self._values.clear()
+        self._sorted = True
+
+    def merge(self, other: "LatencySample") -> None:
+        """Fold another sample's observations into this one."""
+        self._values.extend(other._values)
         self._sorted = False
 
     def __len__(self) -> int:
@@ -78,12 +103,29 @@ class ThroughputSeries:
     visible rather than silently skipped.
     """
 
-    def __init__(self, bucket_width: float = 0.1):
+    def __init__(self, bucket_width: float = 0.1, name: str = "throughput"):
         if bucket_width <= 0:
             raise ValueError("bucket width must be positive")
+        self.name = name
         self.bucket_width = bucket_width
         self._buckets: Dict[int, int] = {}
         self.total = 0
+
+    def reset(self) -> None:
+        """Drop all recorded completions."""
+        self._buckets.clear()
+        self.total = 0
+
+    def merge(self, other: "ThroughputSeries") -> None:
+        """Fold another series (same bucket width) into this one."""
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge series with bucket widths "
+                f"{self.bucket_width} and {other.bucket_width}"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.total += other.total
 
     def record(self, time: float, count: int = 1) -> None:
         index = int(time / self.bucket_width)

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import StorageError
+from repro.obs import CAT_DEVICE, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.partitioner import Key
 from repro.sim.events import Event
 from repro.sim.resources import Resource
@@ -82,10 +83,21 @@ class DiskFaultMode:
 class SimulatedDisk:
     """A disk device: limited parallelism, randomized access latency."""
 
-    def __init__(self, sim: "Simulator", rng: "random.Random", costs: "CostModel"):
+    def __init__(
+        self,
+        sim: "Simulator",
+        rng: "random.Random",
+        costs: "CostModel",
+        tracer: TraceRecorder = NULL_RECORDER,
+        replica: Optional[int] = None,
+        partition: Optional[int] = None,
+    ):
         self.sim = sim
         self._rng = rng
         self._costs = costs
+        self.tracer = tracer
+        self.replica = replica
+        self.partition = partition
         self._slots = Resource(sim, costs.disk_parallelism, name="disk")
         self.fetches = 0
         self.total_latency = 0.0
@@ -119,6 +131,7 @@ class SimulatedDisk:
         return done
 
     def _fetch_process(self, done: Event):
+        queued_at = self.sim.now
         yield self._slots.request()
         attempts = 0
         while True:
@@ -138,8 +151,23 @@ class SimulatedDisk:
                 continue
             break
         self._slots.release()
+        if self.tracer.enabled:
+            # Device-level span (queue wait + access, incl. torn retries):
+            # distinct from the txn-attributed cold-stall span, which only
+            # appears when a fetch lands on the execution critical path.
+            self.tracer.record(
+                SpanKind.DISK, queued_at, self.sim.now,
+                cat=CAT_DEVICE, replica=self.replica, partition=self.partition,
+                detail="fetch",
+            )
         done.succeed()
 
     @property
     def queue_length(self) -> int:
         return self._slots.queue_length
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose device tallies as gauges in ``registry``."""
+        registry.gauge(f"{prefix}.fetches", lambda: self.fetches)
+        registry.gauge(f"{prefix}.total_latency", lambda: self.total_latency)
+        registry.gauge(f"{prefix}.torn_accesses", lambda: self.torn_accesses)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
 
+from repro.obs import NULL_RECORDER, TraceRecorder
 from repro.partition.partitioner import Key
 from repro.sim.events import Event
 from repro.storage.disk import SimulatedDisk, WarmCache
@@ -37,6 +38,8 @@ class StorageEngine:
         disk_enabled: bool = False,
         cold_predicate: Optional[ColdPredicate] = None,
         warm_capacity: Optional[int] = None,
+        tracer: TraceRecorder = NULL_RECORDER,
+        replica: Optional[int] = None,
     ):
         self.sim = sim
         self.partition = partition
@@ -44,7 +47,9 @@ class StorageEngine:
         self.disk_enabled = disk_enabled
         self._cold_predicate = cold_predicate or (lambda key: False)
         self.disk: Optional[SimulatedDisk] = (
-            SimulatedDisk(sim, rng, costs) if disk_enabled else None
+            SimulatedDisk(sim, rng, costs, tracer=tracer, replica=replica, partition=partition)
+            if disk_enabled
+            else None
         )
         self.warm = WarmCache(warm_capacity)
         self.prefetches = 0

@@ -1,0 +1,190 @@
+"""Unit tests for the observability primitives (repro.obs, sim.stats)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    CAT_DEVICE,
+    CAT_EPOCH,
+    NULL_RECORDER,
+    MetricsRegistry,
+    Span,
+    SpanKind,
+    TraceRecorder,
+    breakdown,
+    chrome_trace,
+    phase_means,
+    summary_table,
+    trace_digest,
+    write_chrome_trace,
+)
+from repro.sim.stats import Counter, LatencySample, ThroughputSeries
+
+
+class TestStatsResetMerge:
+    def test_counter_reset_and_merge(self):
+        a, b = Counter("a"), Counter("b")
+        a.increment(3)
+        b.increment(4)
+        a.merge(b)
+        assert a.value == 7
+        a.reset()
+        assert a.value == 0
+        assert b.value == 4  # merge does not consume the source
+
+    def test_latency_sample_reset_and_merge(self):
+        a, b = LatencySample("a"), LatencySample("b")
+        for v in (0.1, 0.3):
+            a.add(v)
+        b.add(0.2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.percentile(50) == 0.2
+        assert a.values() == (0.1, 0.3, 0.2) or a.values() == (0.1, 0.2, 0.3)
+        a.reset()
+        assert a.count == 0 and a.mean == 0.0
+
+    def test_throughput_series_merge_requires_same_buckets(self):
+        a = ThroughputSeries(0.1)
+        b = ThroughputSeries(0.1)
+        a.record(0.05)
+        b.record(0.15)
+        a.merge(b)
+        assert a.total == 2
+        with pytest.raises(ValueError):
+            a.merge(ThroughputSeries(0.2))
+        a.reset()
+        assert a.total == 0
+
+
+class TestMetricsRegistry:
+    def test_create_or_return_and_type_conflicts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert registry.counter("x") is counter
+        with pytest.raises(ConfigError):
+            registry.histogram("x")
+        with pytest.raises(ConfigError):
+            registry.get("missing")
+        assert "x" in registry
+
+    def test_callable_gauge_reads_lazily_and_rejects_set(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        gauge = registry.gauge("lazy", lambda: state["n"])
+        state["n"] = 5
+        assert gauge.value == 5
+        with pytest.raises(ConfigError):
+            gauge.set(9)
+        settable = registry.gauge("plain")
+        settable.set(2.5)
+        assert settable.value == 2.5
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment(2)
+        registry.histogram("h").add(0.5)
+        registry.series("s").record(0.01)
+        snap = registry.snapshot()
+        assert snap["c"] == 2
+        assert snap["h.count"] == 1
+        assert snap["h.p50"] == 0.5
+        assert snap["s.total"] == 1
+
+    def test_registry_merge_and_reset(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").increment(1)
+        b.counter("c").increment(2)
+        b.counter("only_b").increment(7)
+        b.gauge("g", lambda: 1.0)
+        a.merge(b)
+        assert a.get("c").value == 3
+        assert a.get("only_b").value == 7
+        assert "g" not in a  # gauges are skipped
+        a.reset()
+        assert a.get("c").value == 0
+
+
+def _sample_spans():
+    return [
+        Span(SpanKind.SEQUENCE, 0.00, 0.01, replica=0, partition=0, txn_id=1),
+        Span(SpanKind.DISPATCH, 0.01, 0.012, cat=CAT_EPOCH, replica=0, partition=0),
+        Span(SpanKind.EXECUTE, 0.012, 0.013, replica=0, partition=0, txn_id=1),
+        Span(SpanKind.DISK, 0.0, 0.005, cat=CAT_DEVICE, replica=0, partition=0),
+    ]
+
+
+class TestRecorder:
+    def test_record_and_digest_stability(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        for recorder in (a, b):
+            recorder.record(SpanKind.SEQUENCE, 0.0, 0.01, replica=0, partition=0, txn_id=1)
+        assert a.digest() == b.digest()
+        b.record(SpanKind.APPLY, 0.01, 0.02, txn_id=1)
+        assert a.digest() != b.digest()
+        assert len(b) == 2
+        assert [s.kind for s in b.spans_of(SpanKind.APPLY)] == [SpanKind.APPLY]
+
+    def test_marks_take_and_peek(self):
+        recorder = TraceRecorder()
+        recorder.mark("k", 1.5)
+        assert recorder.peek_mark("k") == 1.5
+        assert recorder.take_mark("k") == 1.5
+        assert recorder.take_mark("k") is None
+
+    def test_null_recorder_is_inert(self):
+        assert not NULL_RECORDER.enabled
+        NULL_RECORDER.record(SpanKind.SEQUENCE, 0.0, 1.0)
+        NULL_RECORDER.mark("k", 1.0)
+        assert NULL_RECORDER.take_mark("k") is None
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.spans == []
+        # Digest of an empty trace matches an empty live recorder's.
+        assert NULL_RECORDER.digest() == TraceRecorder().digest()
+
+    def test_module_level_digest_matches_recorder(self):
+        recorder = TraceRecorder()
+        for span in _sample_spans():
+            recorder.spans.append(span)
+        assert trace_digest(recorder.spans) == recorder.digest()
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self):
+        doc = chrome_trace({"calvin": _sample_spans()})
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        ms = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == 4
+        assert ms and all(e["name"] == "process_name" for e in ms)
+        seq = next(e for e in xs if e["name"] == "sequence")
+        assert seq["ts"] == 0.0 and seq["dur"] == pytest.approx(10_000.0)
+        assert seq["tid"] == 1
+        json.dumps(doc)  # round-trippable
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace({"x": _sample_spans()}, str(path)) == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_breakdown_groups_by_kind_and_cat(self):
+        table = breakdown(_sample_spans())
+        assert table[(SpanKind.SEQUENCE, "txn")].count == 1
+        assert table[(SpanKind.DISK, CAT_DEVICE)].count == 1
+        # A warm-up boundary drops earlier spans.
+        late = breakdown(_sample_spans(), since=0.011)
+        assert (SpanKind.SEQUENCE, "txn") not in late
+
+    def test_phase_means_filters_category(self):
+        means = phase_means(_sample_spans())
+        assert means[SpanKind.SEQUENCE] == pytest.approx(0.01)
+        assert SpanKind.DISPATCH not in means  # epoch cat
+        assert SpanKind.DISK not in means      # device cat
+
+    def test_summary_table_renders(self):
+        text = summary_table(_sample_spans(), title="unit")
+        assert "unit" in text and "sequence" in text and "p99 ms" in text
+        assert "(no spans recorded)" in summary_table([], title="empty")
