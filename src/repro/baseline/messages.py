@@ -11,7 +11,7 @@ _HEADER = 64
 _RECORD = 120
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecRequest:
     """Coordinator → participant: acquire these locks, return read values."""
 
@@ -25,7 +25,7 @@ class ExecRequest:
         return _HEADER + 24 * (len(self.read_keys) + len(self.write_keys))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecReply:
     """Participant → coordinator: locks held + values, or wait-die abort."""
 
@@ -38,7 +38,7 @@ class ExecReply:
         return _HEADER + _RECORD * max(1, len(self.values))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareRequest:
     """Coordinator → participant: 2PC phase 1, carrying the writes."""
 
@@ -50,7 +50,7 @@ class PrepareRequest:
         return _HEADER + _RECORD * max(1, len(self.writes))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareVote:
     """Participant → coordinator: prepared (force-logged) and voting yes."""
 
@@ -61,7 +61,7 @@ class PrepareVote:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """Coordinator → participant: 2PC phase 2 (commit or abort)."""
 

@@ -36,6 +36,7 @@ from repro.errors import ConfigError, NetworkError, TransactionAborted
 from repro.net.messages import ClientSubmit, TxnReply
 from repro.obs import NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
+from repro.partition.partitioner import sort_token
 from repro.scheduler.lockmanager import LockMode
 from repro.sim.events import Event
 from repro.sim.resources import Resource
@@ -285,11 +286,11 @@ class BaselineNode:
         ts = request.ts
         write_set = set(request.write_keys)
         requests: List[Tuple[Any, LockMode]] = [
-            (key, LockMode.WRITE) for key in sorted(write_set, key=repr)
+            (key, LockMode.WRITE) for key in sorted(write_set, key=sort_token)
         ]
         requests += [
             (key, LockMode.READ)
-            for key in sorted(set(request.read_keys) - write_set, key=repr)
+            for key in sorted(set(request.read_keys) - write_set, key=sort_token)
         ]
         lock_start = self.sim.now
         for key, mode in requests:

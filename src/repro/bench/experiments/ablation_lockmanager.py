@@ -11,7 +11,7 @@ worker pool, so the admission path is the binding constraint.
 
 from __future__ import annotations
 
-from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.harness import LockStatsSampler, ScaleProfile, run_calvin
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig, CostModel
 from repro.workloads.microbenchmark import Microbenchmark
@@ -24,9 +24,10 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 1) -> Experiment
     result = ExperimentResult(
         experiment="Ablation (lock manager)",
         title="Lock-manager shards vs per-machine throughput (32 workers)",
-        headers=("shards", "per-machine txn/s", "p50 ms"),
+        headers=("shards", "per-machine txn/s", "p50 ms", "mean locked txns", "peak queued"),
         notes="lock_request_cpu raised 4x so admission, not workers, binds — "
-        "isolating the serialization point the paper's design accepts",
+        "isolating the serialization point the paper's design accepts; "
+        "occupancy sampled once per epoch, not per grant",
     )
     costs = CostModel(lock_request_cpu=6e-6)
     for shards in SHARD_COUNTS:
@@ -38,11 +39,19 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 1) -> Experiment
             lock_manager_shards=shards,
             costs=costs,
         )
+        sampler = LockStatsSampler()
         report = run_calvin(
             workload, config, profile,
             clients_per_partition=profile.clients_per_partition * 2,
+            on_cluster=sampler.attach,
         )
-        result.add_row(shards, report.throughput / machines, report.latency_p50 * 1e3)
+        result.add_row(
+            shards,
+            report.throughput / machines,
+            report.latency_p50 * 1e3,
+            round(sampler.mean_active(), 1),
+            sampler.peak_queued(),
+        )
     return result
 
 

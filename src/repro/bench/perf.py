@@ -1,0 +1,218 @@
+"""Wall-clock performance benchmark: ``repro bench perf``.
+
+Unlike the experiments (which measure the *modelled* system's virtual
+throughput), this harness measures the *simulator's* own speed: events
+dispatched and transactions committed per wall-clock second on three
+canned configurations. The output is written as ``BENCH_perf.json`` and
+checked in; CI re-runs the quick profile and fails on a large
+regression, so hot-path slowdowns are caught at review time.
+
+Wall-clock numbers are machine-dependent and noisy, so every run also
+records a *calibration* score — a fixed pure-Python dict workload timed
+on the same interpreter immediately before and after the benchmark.
+Comparisons divide events/sec by the calibration score, which cancels
+most of the machine-speed and background-load variance between the
+checked-in baseline and the CI runner.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.config import ClusterConfig
+from repro.core.cluster import CalvinCluster
+from repro.workloads.base import Workload
+from repro.workloads.microbenchmark import Microbenchmark
+from repro.workloads.tpcc import TpccWorkload
+
+SCHEMA_VERSION = 1
+
+# A config regresses when its calibration-normalised events/sec falls
+# more than this fraction below the checked-in baseline.
+DEFAULT_THRESHOLD = 0.30
+
+_CALIBRATION_OPS = 300_000
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """One canned benchmark configuration."""
+
+    name: str
+    description: str
+    build: Callable[[], Tuple[Workload, ClusterConfig]] = field(repr=False)
+    clients_per_partition: int = 100
+    warmup: float = 0.05
+    duration: float = 1.0       # virtual seconds measured (full mode)
+    quick_duration: float = 0.25
+
+
+def canned_configs() -> Tuple[PerfConfig, ...]:
+    """The benchmark matrix. Fixed seeds: virtual results are exact."""
+    return (
+        PerfConfig(
+            name="micro-low",
+            description="microbenchmark, low contention, single-partition txns",
+            build=lambda: (
+                Microbenchmark(mp_fraction=0.0, hot_set_size=10000, cold_set_size=10000),
+                ClusterConfig(num_partitions=2, seed=2012),
+            ),
+        ),
+        PerfConfig(
+            name="micro-high",
+            description="microbenchmark, high contention, 50% multipartition",
+            build=lambda: (
+                Microbenchmark(mp_fraction=0.5, hot_set_size=10, cold_set_size=10000),
+                ClusterConfig(num_partitions=2, seed=2012),
+            ),
+        ),
+        PerfConfig(
+            name="tpcc-4p",
+            description="TPC-C New Order only, 4 partitions, 10% remote",
+            build=lambda: (
+                TpccWorkload(mix={"new_order": 1.0}, remote_fraction=0.10),
+                ClusterConfig(num_partitions=4, seed=2012),
+            ),
+            clients_per_partition=50,
+            duration=0.5,
+            quick_duration=0.15,
+        ),
+    )
+
+
+def calibration_ops_per_sec(n: int = _CALIBRATION_OPS) -> float:
+    """Machine-speed yardstick: ops/sec of a fixed dict/tuple workload.
+
+    Deliberately shaped like the simulator's hot loops (tuple keys,
+    dict stores and lookups) so its sensitivity to interpreter and
+    machine speed tracks the benchmark's.
+    """
+    store: Dict[Tuple[str, int], int] = {}
+    start = time.perf_counter()
+    for index in range(n):
+        key = ("cal", index & 1023)
+        store[key] = store.get(key, 0) + 1
+    checksum = 0
+    for value in store.values():
+        checksum += value
+    elapsed = time.perf_counter() - start
+    assert checksum == n
+    return n / elapsed
+
+
+def run_config(config: PerfConfig, quick: bool = False) -> Dict[str, Any]:
+    """Run one canned config; return its measurement record."""
+    workload, cluster_config = config.build()
+    cluster = CalvinCluster(cluster_config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(config.clients_per_partition)
+    cluster.start()
+    for client in cluster.clients:
+        client.start()
+    sim = cluster.sim
+    sim.run(until=sim.now + config.warmup)
+    duration = config.quick_duration if quick else config.duration
+    events_before = sim.events_executed
+    committed_before = cluster.metrics.committed
+    wall_start = time.perf_counter()
+    sim.run(until=sim.now + duration)
+    wall = time.perf_counter() - wall_start
+    events = sim.events_executed - events_before
+    committed = cluster.metrics.committed - committed_before
+    return {
+        "description": config.description,
+        "virtual_duration": duration,
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "committed": committed,
+        "txns_per_sec": committed / wall if wall > 0 else 0.0,
+    }
+
+
+def run_perf(quick: bool = False) -> Dict[str, Any]:
+    """Run the full matrix; return the ``BENCH_perf.json`` payload."""
+    # Calibrate before AND after: a background-load spike during the
+    # window shows up as a dip in one of the samples; taking the max
+    # records the machine's demonstrated speed.
+    calibration_before = calibration_ops_per_sec()
+    configs: Dict[str, Dict[str, Any]] = {}
+    for config in canned_configs():
+        configs[config.name] = run_config(config, quick=quick)
+    calibration_after = calibration_ops_per_sec()
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "calibration_ops_per_sec": max(calibration_before, calibration_after),
+        "configs": configs,
+    }
+
+
+@dataclass
+class PerfComparison:
+    """Verdict of a baseline-vs-current comparison."""
+
+    ok: bool
+    lines: List[str]
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return "\n".join(self.lines)
+
+
+def compare(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> PerfComparison:
+    """Compare two benchmark payloads, calibration-normalised.
+
+    A config fails when its normalised events/sec drops more than
+    ``threshold`` below the baseline's. Configs missing from either
+    side are reported but don't fail the comparison (the matrix may
+    grow between PRs).
+    """
+    if baseline.get("schema") != current.get("schema"):
+        return PerfComparison(
+            ok=False,
+            lines=[
+                f"schema mismatch: baseline {baseline.get('schema')} "
+                f"vs current {current.get('schema')} — regenerate the baseline"
+            ],
+        )
+    base_cal = float(baseline.get("calibration_ops_per_sec") or 0.0)
+    cur_cal = float(current.get("calibration_ops_per_sec") or 0.0)
+    lines = [
+        f"calibration: baseline {base_cal:,.0f} ops/s, current {cur_cal:,.0f} ops/s"
+    ]
+    ok = True
+    base_configs = baseline.get("configs", {})
+    cur_configs = current.get("configs", {})
+    for name in sorted(set(base_configs) | set(cur_configs)):
+        if name not in base_configs:
+            lines.append(f"  {name}: new config (no baseline) — skipped")
+            continue
+        if name not in cur_configs:
+            lines.append(f"  {name}: missing from current run — skipped")
+            continue
+        base_eps = float(base_configs[name]["events_per_sec"])
+        cur_eps = float(cur_configs[name]["events_per_sec"])
+        if base_cal > 0 and cur_cal > 0:
+            ratio = (cur_eps / cur_cal) / (base_eps / base_cal)
+            basis = "normalised"
+        else:
+            ratio = cur_eps / base_eps if base_eps > 0 else 1.0
+            basis = "raw"
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSION"
+            ok = False
+        lines.append(
+            f"  {name}: {cur_eps:,.0f} ev/s vs baseline {base_eps:,.0f} "
+            f"({basis} ratio {ratio:.2f}) {verdict}"
+        )
+    lines.append("PASS" if ok else f"FAIL: regression beyond {threshold:.0%} threshold")
+    return PerfComparison(ok=ok, lines=lines)

@@ -18,6 +18,9 @@ Commands:
   [--out F]`` — run the microbenchmark with span tracing on and emit a
   per-phase latency breakdown or a Chrome ``trace_event`` JSON loadable
   in chrome://tracing / Perfetto.
+- ``bench perf [--quick] [--out F] [--check BASELINE]`` — measure the
+  simulator's own wall-clock speed (events/sec, txns/sec) on a canned
+  config matrix and optionally fail on regression vs a baseline.
 """
 
 from __future__ import annotations
@@ -121,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("new", help="candidate result JSON")
     compare.add_argument("--threshold", type=float, default=0.10,
                          help="relative change flagged as regression (default 0.10)")
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock benchmarks of the simulator itself"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    perf = bench_sub.add_parser(
+        "perf",
+        help="measure events/sec + txns/sec on the canned config matrix",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="short durations (CI smoke)")
+    perf.add_argument("--out", metavar="FILE", default="BENCH_perf.json",
+                      help="where to write the result (default BENCH_perf.json)")
+    perf.add_argument("--no-write", action="store_true",
+                      help="print the result without writing --out")
+    perf.add_argument("--check", metavar="BASELINE",
+                      help="compare against a baseline BENCH_perf.json; "
+                           "exit 1 on regression")
+    perf.add_argument("--threshold", type=float, default=None,
+                      help="normalised events/sec drop flagged as regression "
+                           "(default 0.30)")
     return parser
 
 
@@ -309,6 +333,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from repro.bench import perf
+
+    if args.bench_command != "perf":
+        parser.parse_args(["bench", "--help"])
+        return 2
+    mode = "quick" if args.quick else "full"
+    print(f"running perf benchmark ({mode} mode)...", file=sys.stderr)
+    result = perf.run_perf(quick=args.quick)
+    for name, record in result["configs"].items():
+        print(f"  {name}: {record['events_per_sec']:,.0f} ev/s, "
+              f"{record['txns_per_sec']:,.0f} txn/s "
+              f"({record['events']} events in {record['wall_seconds']:.2f}s)")
+    print(f"  calibration: {result['calibration_ops_per_sec']:,.0f} ops/s")
+    if not args.no_write:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        threshold = perf.DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+        comparison = perf.compare(baseline, result, threshold=threshold)
+        print(comparison)
+        return 0 if comparison.ok else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -322,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_chaos(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "bench":
+        return cmd_bench(args, parser)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 

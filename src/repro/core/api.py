@@ -41,6 +41,9 @@ from repro.txn.transaction import Transaction
 
 _DRIVER_ADDRESS = ("driver", 0, 0)
 _MAX_RESTARTS = 10
+# Runaway guard for the interactive drain paths: far above anything a
+# single transaction needs, small enough to fail fast on a livelock.
+_MAX_DRAIN_EVENTS = 5_000_000
 
 
 class CalvinDB:
@@ -171,7 +174,10 @@ class CalvinDB:
                 message.size_estimate(),
             )
             futures.append(future)
-        return [cluster.sim.run_until_triggered(future) for future in futures]
+        return [
+            cluster.sim.run_until_triggered(future, max_events=_MAX_DRAIN_EVENTS)
+            for future in futures
+        ]
 
     def execute_dependent(
         self,
@@ -228,7 +234,7 @@ class CalvinDB:
             message,
             message.size_estimate(),
         )
-        return cluster.sim.run_until_triggered(future)
+        return cluster.sim.run_until_triggered(future, max_events=_MAX_DRAIN_EVENTS)
 
     def _on_reply(self, src: Any, message: Any) -> None:
         assert isinstance(message, TxnReply)

@@ -180,12 +180,14 @@ class CalvinNode:
     # -- message routing ---------------------------------------------------------
 
     def handle_message(self, src: Any, message: Any) -> None:
-        if isinstance(message, SubBatch):
-            self.scheduler.receive_subbatch(message)
+        # Ordered by arrival frequency: one submit per transaction, then
+        # remote reads (multipartition only), then per-epoch subbatches.
+        if isinstance(message, ClientSubmit):
+            self.sequencer.submit(message.txn)
         elif isinstance(message, RemoteRead):
             self.scheduler.receive_remote_read(message)
-        elif isinstance(message, ClientSubmit):
-            self.sequencer.submit(message.txn)
+        elif isinstance(message, SubBatch):
+            self.scheduler.receive_subbatch(message)
         elif isinstance(message, ReplicaBatch):
             self.sequencer.handle_replica_batch(message)
         elif isinstance(message, _PAXOS_MESSAGES):

@@ -19,7 +19,7 @@ _RECORD_WIRE_SIZE = 120   # bytes per key/value pair in a remote read
 _HEADER_SIZE = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientSubmit:
     """Client → sequencer: a new transaction request."""
 
@@ -29,7 +29,7 @@ class ClientSubmit:
         return _HEADER_SIZE + _TXN_WIRE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaBatch:
     """Sequencer → peer-replica sequencer (async replication mode)."""
 
@@ -41,7 +41,7 @@ class ReplicaBatch:
         return _HEADER_SIZE + _TXN_WIRE_SIZE * len(self.txns)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubBatch:
     """Sequencer → scheduler (same replica): this partition's view of a batch.
 
@@ -60,7 +60,7 @@ class SubBatch:
         return _HEADER_SIZE + _TXN_WIRE_SIZE * len(self.txns)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteRead:
     """Participant → active participant: local read results for one txn."""
 
@@ -72,7 +72,7 @@ class RemoteRead:
         return _HEADER_SIZE + _RECORD_WIRE_SIZE * max(1, len(self.values))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """Sequencer → storage node: warm these cold keys up (Section 4).
 
@@ -87,7 +87,7 @@ class PrefetchRequest:
         return _HEADER_SIZE + 24 * max(1, len(self.keys))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnReply:
     """Reply partition → client: terminal result of one attempt."""
 

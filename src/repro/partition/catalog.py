@@ -7,7 +7,7 @@ addresses are small tuples so they stay hashable and debuggable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.config import ClusterConfig
 from repro.errors import ConfigError
@@ -45,6 +45,9 @@ class Catalog:
             )
         self.config = config
         self.partitioner = partitioner
+        # partition_of dominates profiles (CRC32 over repr per call);
+        # workloads draw from bounded key sets, so memoise per catalog.
+        self._partition_cache: Dict[Key, int] = {}
 
     @property
     def num_partitions(self) -> int:
@@ -68,8 +71,29 @@ class Catalog:
         return [NodeId(r, partition) for r in range(self.num_replicas)]
 
     def partition_of(self, key: Key) -> int:
-        return self.partitioner.partition_of(key)
+        cache = self._partition_cache
+        partition = cache.get(key)
+        if partition is None:
+            partition = cache[key] = self.partitioner.partition_of(key)
+        return partition
 
     def partitions_of(self, keys) -> Set[int]:
-        """The set of partitions covering ``keys``."""
-        return {self.partitioner.partition_of(key) for key in keys}
+        """The set of partitions covering ``keys``.
+
+        ``keys`` must be re-iterable (a set or sequence, not a
+        generator): the miss fallback walks it a second time.
+        """
+        # Hot: every routing decision funnels through here. The cache is
+        # warm for the whole key universe after the initial data load,
+        # so subscript directly and fall back to the method on a miss.
+        cache = self._partition_cache
+        out = set()
+        add = out.add
+        try:
+            for key in keys:
+                add(cache[key])
+        except KeyError:
+            partition_of = self.partition_of
+            for key in keys:
+                add(partition_of(key))
+        return out

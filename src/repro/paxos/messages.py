@@ -15,7 +15,7 @@ _HEADER = 64
 _VALUE_SIZE = 512  # a sequencer batch; refined by callers when known
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Phase 1a: proposer asks for promises from ``from_instance`` onward."""
 
@@ -26,7 +26,7 @@ class Prepare:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Promise:
     """Phase 1b: acceptor promises; reports prior accepts >= from_instance."""
 
@@ -37,7 +37,7 @@ class Promise:
         return _HEADER + _VALUE_SIZE * len(self.accepted)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accept:
     """Phase 2a: proposer asks acceptors to accept ``value`` at ``instance``."""
 
@@ -49,7 +49,7 @@ class Accept:
         return _HEADER + _VALUE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accepted:
     """Phase 2b: acceptor accepted."""
 
@@ -60,7 +60,7 @@ class Accepted:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Nack:
     """Rejection carrying the higher promised ballot (leadership lost)."""
 
@@ -71,7 +71,7 @@ class Nack:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Learn:
     """Proposer → learners: ``value`` is chosen at ``instance``."""
 

@@ -17,6 +17,7 @@ from repro.errors import TransactionAborted
 from repro.net.messages import RemoteRead, TxnReply
 from repro.obs import SpanKind
 from repro.partition.catalog import NodeId, node_address
+from repro.partition.partitioner import sorted_keys
 from repro.txn.context import TxnContext
 from repro.txn.result import TransactionResult, TxnStatus
 from repro.txn.transaction import SequencedTxn
@@ -25,187 +26,183 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scheduler.scheduler import Scheduler
 
 
-class Executor:
-    """Executes one sequenced transaction on one participant node."""
+def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
+    """The worker process for one sequenced transaction (a generator).
 
-    def __init__(self, scheduler: "Scheduler", stxn: SequencedTxn):
-        self.scheduler = scheduler
-        self.stxn = stxn
-        # The executor is created the moment the last local lock is
-        # granted, so "now" is the lock-grant timestamp.
-        self.granted_time = scheduler.sim.now
+    Spawned the moment the last local lock is granted; the generator's
+    first step runs at that same virtual instant, so ``sim.now`` on
+    entry is the lock-grant timestamp.
+    """
+    sim = sched.sim
+    granted_time = sim.now
+    costs = sched.config.costs
+    catalog = sched.catalog
+    txn = stxn.txn
+    seq = stxn.seq
+    mine = sched.node_id.partition
 
-    def run(self):
-        """The worker process (a simulation generator)."""
-        sched = self.scheduler
-        sim = sched.sim
-        costs = sched.config.costs
-        catalog = sched.catalog
-        txn = self.stxn.txn
-        seq = self.stxn.seq
-        mine = sched.node_id.partition
-
-        # Phase 1 — read/write set analysis.
-        participants = txn.participants(catalog)
-        active = txn.active_participants(catalog)
-        is_active = mine in active
-        reader_partitions = catalog.partitions_of(txn.read_set)
-        local_read_keys = sorted(
-            (key for key in txn.read_set if catalog.partition_of(key) == mine),
-            key=repr,
+    # Phase 1 — read/write set analysis.
+    participants = txn.participants(catalog)
+    multipartition = len(participants) > 1
+    if multipartition:
+        local_read_keys = sorted_keys(
+            key for key in txn.read_set if catalog.partition_of(key) == mine
         )
+    else:
+        # Sole participant: the whole read set is local.
+        local_read_keys = txn.sorted_reads()
 
-        tracer = sched.tracer
-        replica, txn_id = sched.node_id.replica, txn.txn_id
+    tracer = sched.tracer
+    replica, txn_id = sched.node_id.replica, txn.txn_id
 
-        yield sched.workers.request()
+    yield sched.workers.request()
 
-        # Stall on any still-cold local data (only happens when the
-        # sequencer's prefetch was skipped or its estimate too low — the
-        # Section 4 penalty path). The disk wait holds locks AND the
-        # worker: exactly the stall Calvin's prefetching exists to avoid.
-        cold = sched.engine.cold_keys_of(local_read_keys)
-        if cold:
-            stall_start = sim.now
-            yield sim.all_of([sched.engine.fetch(key) for key in cold])
-            if tracer.enabled:
-                tracer.record(
-                    SpanKind.DISK, stall_start, sim.now,
-                    replica=replica, partition=mine,
-                    txn_id=txn_id, seq=seq, detail="cold-stall",
-                )
-        exec_start = sim.now
-
-        # Phase 2 — perform local reads.
-        cpu = costs.txn_base_cpu + costs.read_cpu * len(local_read_keys)
-        local_values = {key: sched.engine.read(key) for key in local_read_keys}
-
-        reads: Dict = local_values
-        messages_received = 0
-        if len(participants) > 1:
-            cpu += costs.multipartition_overhead_cpu
-            yield sim.timeout(cpu)
-
-            # Phase 3 — serve remote reads: push local values to every
-            # *other* active participant.
-            if local_read_keys:
-                message = RemoteRead(seq, mine, local_values)
-                targets = active - {mine}
-                sched.record_served_read(message, targets)
-                for partition in sorted(targets):
-                    target = NodeId(sched.node_id.replica, partition)
-                    sched.send(node_address(target), message, message.size_estimate())
-
-            if tracer.enabled:
-                # Phases 2-3 (local reads + serving remote readers) are
-                # on-CPU work, including the wait for a worker slot.
-                tracer.record(
-                    SpanKind.EXECUTE, exec_start, sim.now,
-                    replica=replica, partition=mine, txn_id=txn_id, seq=seq,
-                    detail="passive" if not is_active else None,
-                )
-
-            if not is_active:
-                # Passive participant: its job ends here.
-                sched.workers.release()
-                sched.finish_txn(self.stxn, None, passive=True)
-                return
-
-            # Phase 4 — collect remote read results from every other
-            # partition holding read-set data. The worker is released for
-            # the wait (threads block; CPUs don't), locks stay held.
-            expected = reader_partitions - {mine}
-            if not expected.issubset(sched.remote_reads_for(seq)):
-                wait_start = sim.now
-                sched.workers.release()
-                while not expected.issubset(sched.remote_reads_for(seq)):
-                    yield sched.remote_read_arrival(seq)
-                yield sched.workers.request()
-                if tracer.enabled:
-                    tracer.record(
-                        SpanKind.REMOTE_READ_WAIT, wait_start, sim.now,
-                        replica=replica, partition=mine, txn_id=txn_id, seq=seq,
-                    )
-            reads = dict(local_values)
-            for values in sched.remote_reads_for(seq).values():
-                reads.update(values)
-                messages_received += 1
-        else:
-            yield sim.timeout(cpu)
-            if tracer.enabled:
-                tracer.record(
-                    SpanKind.EXECUTE, exec_start, sim.now,
-                    replica=replica, partition=mine, txn_id=txn_id, seq=seq,
-                )
-
-        # Phase 5 — execute logic, apply local writes.
-        apply_start = sim.now
-        result = yield from self._execute_logic(reads, messages_received)
+    # Stall on any still-cold local data (only happens when the
+    # sequencer's prefetch was skipped or its estimate too low — the
+    # Section 4 penalty path). The disk wait holds locks AND the
+    # worker: exactly the stall Calvin's prefetching exists to avoid.
+    cold = sched.engine.cold_keys_of(local_read_keys)
+    if cold:
+        stall_start = sim.now
+        yield sim.all_of([sched.engine.fetch(key) for key in cold])
         if tracer.enabled:
             tracer.record(
-                SpanKind.APPLY, apply_start, sim.now,
+                SpanKind.DISK, stall_start, sim.now,
+                replica=replica, partition=mine,
+                txn_id=txn_id, seq=seq, detail="cold-stall",
+            )
+    exec_start = sim.now
+
+    # Phase 2 — perform local reads.
+    cpu = costs.txn_base_cpu + costs.read_cpu * len(local_read_keys)
+    local_values = sched.engine.read_many(local_read_keys)
+
+    reads: Dict = local_values
+    messages_received = 0
+    if multipartition:
+        active = txn.active_participants(catalog)
+        is_active = mine in active
+        cpu += costs.multipartition_overhead_cpu
+        yield sim.timeout(cpu)
+
+        # Phase 3 — serve remote reads: push local values to every
+        # *other* active participant.
+        if local_read_keys:
+            message = RemoteRead(seq, mine, local_values)
+            targets = active - {mine}
+            sched.record_served_read(message, targets)
+            for partition in sorted(targets):
+                target = NodeId(sched.node_id.replica, partition)
+                sched.send(node_address(target), message, message.size_estimate())
+
+        if tracer.enabled:
+            # Phases 2-3 (local reads + serving remote readers) are
+            # on-CPU work, including the wait for a worker slot.
+            tracer.record(
+                SpanKind.EXECUTE, exec_start, sim.now,
+                replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                detail="passive" if not is_active else None,
+            )
+
+        if not is_active:
+            # Passive participant: its job ends here.
+            sched.workers.release()
+            sched.finish_txn(stxn, None, passive=True)
+            return
+
+        # Phase 4 — collect remote read results from every other
+        # partition holding read-set data. The worker is released for
+        # the wait (threads block; CPUs don't), locks stay held.
+        expected = catalog.partitions_of(txn.read_set) - {mine}
+        if not expected.issubset(sched.remote_reads_for(seq)):
+            wait_start = sim.now
+            sched.workers.release()
+            while not expected.issubset(sched.remote_reads_for(seq)):
+                yield sched.remote_read_arrival(seq)
+            yield sched.workers.request()
+            if tracer.enabled:
+                tracer.record(
+                    SpanKind.REMOTE_READ_WAIT, wait_start, sim.now,
+                    replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                )
+        reads = dict(local_values)
+        for values in sched.remote_reads_for(seq).values():
+            reads.update(values)
+            messages_received += 1
+    else:
+        yield sim.timeout(cpu)
+        if tracer.enabled:
+            tracer.record(
+                SpanKind.EXECUTE, exec_start, sim.now,
                 replica=replica, partition=mine, txn_id=txn_id, seq=seq,
             )
-        sched.workers.release()
-        report = result if mine == txn.reply_partition(catalog) else None
-        if report is not None and txn.client is not None and sched.node_id.replica == 0:
-            reply = TxnReply(report)
-            sched.send(txn.client, reply, reply.size_estimate())
-        sched.finish_txn(self.stxn, report, passive=False)
 
-    def _execute_logic(self, reads: Dict, messages_received: int):
-        """Run recheck + procedure logic; apply this partition's writes."""
-        sched = self.scheduler
-        sim = sched.sim
-        costs = sched.config.costs
-        catalog = sched.catalog
-        txn = self.stxn.txn
-        mine = sched.node_id.partition
-        procedure = sched.registry.get(txn.procedure)
+    # Phase 5 — execute logic, apply local writes (inlined from a
+    # former helper generator: one less delegated frame per txn).
+    apply_start = sim.now
+    procedure = sched.registry.get(txn.procedure)
+    context = TxnContext(txn, reads)
+    status: TxnStatus
+    value: Any = None
 
-        context = TxnContext(txn, reads)
-        status: TxnStatus
-        value: Any = None
+    # OLLP recheck (Section 3.2.1): deterministic — every active
+    # participant computes the same verdict from the same snapshot.
+    stale = (
+        txn.dependent
+        and procedure.recheck is not None
+        and not procedure.recheck(context)
+    )
+    if stale:
+        status = TxnStatus.RESTART
+    else:
+        try:
+            value = procedure.logic(context)
+            status = TxnStatus.COMMITTED
+        except TransactionAborted as abort:
+            status = TxnStatus.ABORTED
+            value = abort.reason
+            context.writes.clear()
 
-        # OLLP recheck (Section 3.2.1): deterministic — every active
-        # participant computes the same verdict from the same snapshot.
-        stale = (
-            txn.dependent
-            and procedure.recheck is not None
-            and not procedure.recheck(context)
-        )
-        if stale:
-            status = TxnStatus.RESTART
-        else:
-            try:
-                value = procedure.logic(context)
-                status = TxnStatus.COMMITTED
-            except TransactionAborted as abort:
-                status = TxnStatus.ABORTED
-                value = abort.reason
-                context.writes.clear()
-
+    if not multipartition:
+        # Sole participant: every write is local.
+        local_writes = context.writes
+    else:
         local_writes = {
             key: val
             for key, val in context.writes.items()
             if catalog.partition_of(key) == mine
         }
-        cpu = (
-            procedure.logic_cpu
-            + costs.write_cpu * len(local_writes)
-            + costs.remote_read_serve_cpu * messages_received
-        )
-        if cpu > 0:
-            yield sim.timeout(cpu)
-        if status is TxnStatus.COMMITTED and local_writes:
-            sched.engine.store.apply_writes(local_writes)
+    cpu = (
+        procedure.logic_cpu
+        + costs.write_cpu * len(local_writes)
+        + costs.remote_read_serve_cpu * messages_received
+    )
+    if cpu > 0:
+        yield sim.timeout(cpu)
+    if status is TxnStatus.COMMITTED and local_writes:
+        sched.engine.store.apply_writes(local_writes, context.deleted)
 
-        return TransactionResult(
-            txn_id=txn.txn_id,
-            status=status,
-            value=value,
-            submit_time=txn.submit_time,
-            complete_time=sim.now,
-            restarts=txn.restarts,
-            granted_time=self.granted_time,
+    result = TransactionResult(
+        txn_id=txn.txn_id,
+        status=status,
+        value=value,
+        submit_time=txn.submit_time,
+        complete_time=sim.now,
+        restarts=txn.restarts,
+        granted_time=granted_time,
+    )
+    if tracer.enabled:
+        tracer.record(
+            SpanKind.APPLY, apply_start, sim.now,
+            replica=replica, partition=mine, txn_id=txn_id, seq=seq,
         )
+    sched.workers.release()
+    if multipartition:
+        report = result if mine == txn.reply_partition(catalog) else None
+    else:
+        # Sole participant is by definition the reply partition.
+        report = result
+    if report is not None and txn.client is not None and sched.node_id.replica == 0:
+        reply = TxnReply(report)
+        sched.send(txn.client, reply, reply.size_estimate())
+    sched.finish_txn(stxn, report, passive=False)

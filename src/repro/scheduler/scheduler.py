@@ -24,7 +24,7 @@ from repro.net.messages import RemoteRead, SubBatch
 from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.partition.partitioner import stable_hash
-from repro.scheduler.executor import Executor
+from repro.scheduler.executor import run_transaction
 from repro.scheduler.lockmanager import DeterministicLockManager
 from repro.sim.events import Event
 from repro.sim.resources import Resource
@@ -37,6 +37,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 SendFn = Callable[[Any, Any, int], None]
 CompletionHook = Callable[[SequencedTxn, Any], None]
+
+
+# Shared shard-index tuple for the dominant single-shard fast path —
+# avoids a fresh one-element list per admitted transaction.
+_SOLE_SHARD = (0,)
 
 
 class Scheduler:
@@ -57,6 +62,10 @@ class Scheduler:
     ):
         self.sim = sim
         self.tracer = tracer
+        # Hoisted is-enabled flag: hot paths branch on a plain bool
+        # instead of an attribute chain (the NullRecorder case pays one
+        # local truth test and nothing else).
+        self._tracing = tracer.enabled
         self.node_id = node_id
         self.catalog = catalog
         self.config = config
@@ -133,7 +142,7 @@ class Scheduler:
                 f"origin={batch.origin_partition} at {self.node_id}"
             )
         per_epoch[batch.origin_partition] = batch
-        if self.tracer.enabled:
+        if self._tracing:
             dispatched = self.tracer.peek_mark(
                 ("dispatch", self.node_id.replica, batch.origin_partition, batch.epoch)
             )
@@ -171,26 +180,76 @@ class Scheduler:
         # Distribute the in-order queue across shard admission loops.
         # Distribution itself is free; each shard loop charges the lock
         # CPU for its own keys, so shards lift the admission ceiling.
-        while self._admission:
-            stxn = self._admission.popleft()
-            if self.tracer.enabled:
+        admission = self._admission
+        tracing = self._tracing
+        catalog = self.catalog
+        mine = self.node_id.partition
+        single_shard = len(self._lock_shards) == 1
+        while admission:
+            stxn = admission.popleft()
+            if tracing:
                 self.tracer.mark(("admit", self.node_id, stxn.seq), self.sim.now)
+            txn = stxn.txn
+            participants = txn.participants(catalog)
+            if single_shard and len(participants) == 1:
+                # Fast path for the dominant case: sole participant on
+                # the single (paper-design) lock shard. The local
+                # footprint is the full footprint, so the per-key
+                # partition filter is skipped and the lock-request plan
+                # is built once per transaction and cached on it.
+                if mine not in participants:
+                    raise SchedulerError(
+                        f"{stxn.seq} dispatched to non-participant partition {mine}"
+                    )
+                plan = txn._lock_plan
+                if plan is None:
+                    plan = self._build_lock_plan(txn)
+                    object.__setattr__(txn, "_lock_plan", plan)
+                self.admitted += 1
+                self.outstanding += 1
+                self._lock_pending[stxn.seq] = 1
+                self._txn_shards[stxn.seq] = _SOLE_SHARD
+                # Admission CPU is charged per requested key of the raw
+                # footprint, exactly like the generic path.
+                units = len(txn.read_set) + len(txn.write_set)
+                self._shard_queues[0].append((stxn, units, None, None, plan))
+                if not self._shard_active[0]:
+                    self._shard_active[0] = True
+                    self.sim.process(self._shard_admission_loop(0))
+                continue
             read_keys, write_keys = self.local_footprint(stxn)
-            shards: Dict[int, List] = {}
-            for key in read_keys:
-                shards.setdefault(self._shard_of(key), [[], []])[0].append(key)
-            for key in write_keys:
-                shards.setdefault(self._shard_of(key), [[], []])[1].append(key)
+            if single_shard:
+                shards: Dict[int, List] = {0: [read_keys, write_keys]}
+            else:
+                shards = {}
+                for key in read_keys:
+                    shards.setdefault(self._shard_of(key), [[], []])[0].append(key)
+                for key in write_keys:
+                    shards.setdefault(self._shard_of(key), [[], []])[1].append(key)
             self.admitted += 1
             self.outstanding += 1
             self._lock_pending[stxn.seq] = len(shards)
             self._txn_shards[stxn.seq] = sorted(shards)
             for index in sorted(shards):
                 shard_reads, shard_writes = shards[index]
-                self._shard_queues[index].append((stxn, shard_reads, shard_writes))
+                units = len(shard_reads) + len(shard_writes)
+                self._shard_queues[index].append(
+                    (stxn, units, shard_reads, shard_writes, None)
+                )
                 if not self._shard_active[index]:
                     self._shard_active[index] = True
                     self.sim.process(self._shard_admission_loop(index))
+
+    @staticmethod
+    def _build_lock_plan(txn) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        """The ``(write_keys, read_only_keys)`` halves, in acquire's order."""
+        writes = txn.sorted_writes()
+        reads = txn.sorted_reads()
+        if reads is writes:
+            # read_set == write_set: every key takes a WRITE lock.
+            return (writes, ())
+        write_set = txn.write_set
+        return (writes, tuple(key for key in reads if key not in write_set))
 
     def _shard_of(self, key) -> int:
         if len(self._lock_shards) == 1:
@@ -200,14 +259,16 @@ class Scheduler:
     def _shard_admission_loop(self, index: int):
         queue = self._shard_queues[index]
         shard = self._lock_shards[index]
+        per_key_cpu = self.config.costs.lock_request_cpu
         while queue:
-            stxn, read_keys, write_keys = queue.popleft()
-            cost = self.config.costs.lock_request_cpu * (
-                len(read_keys) + len(write_keys)
-            )
+            stxn, units, read_keys, write_keys, plan = queue.popleft()
+            cost = per_key_cpu * units
             if cost > 0:
                 yield self.sim.timeout(cost)
-            shard.acquire(stxn, read_keys, write_keys)
+            if plan is not None:
+                shard.acquire_plan(stxn, plan)
+            else:
+                shard.acquire(stxn, read_keys, write_keys)
         self._shard_active[index] = False
 
     def _on_shard_ready(self, stxn: SequencedTxn) -> None:
@@ -227,13 +288,29 @@ class Scheduler:
         """Transactions queued for lock admission (all shards)."""
         return len(self._admission) + sum(len(q) for q in self._shard_queues)
 
+    def lock_occupancy(self) -> tuple:
+        """``(active transactions, queued lock requests)`` over all shards.
+
+        Walks every shard's lock table, so callers sampling it should do
+        so on a fixed timer (e.g. per epoch), never per grant.
+        """
+        active = queued = 0
+        for shard in self._lock_shards:
+            active += shard.active_txns
+            queued += shard.queued_requests
+        return active, queued
+
     def local_footprint(self, stxn: SequencedTxn):
         """This partition's slice of the transaction's read/write sets."""
-        mine = self.node_id.partition
-        partition_of = self.catalog.partition_of
         txn = stxn.txn
-        read_keys = [k for k in txn.read_set if partition_of(k) == mine]
-        write_keys = [k for k in txn.write_set if partition_of(k) == mine]
+        if self.catalog.num_partitions == 1:
+            # Single-partition cluster: every key is local.
+            read_keys, write_keys = list(txn.read_set), list(txn.write_set)
+        else:
+            mine = self.node_id.partition
+            partition_of = self.catalog.partition_of
+            read_keys = [k for k in txn.read_set if partition_of(k) == mine]
+            write_keys = [k for k in txn.write_set if partition_of(k) == mine]
         if not read_keys and not write_keys:
             raise SchedulerError(
                 f"{stxn.seq} dispatched to non-participant partition {mine}"
@@ -243,7 +320,7 @@ class Scheduler:
     # -- execution -----------------------------------------------------------
 
     def _on_locks_ready(self, stxn: SequencedTxn) -> None:
-        if self.tracer.enabled:
+        if self._tracing:
             admitted = self.tracer.take_mark(("admit", self.node_id, stxn.seq))
             if admitted is not None:
                 # Admission -> last local lock granted: lock-manager CPU
@@ -257,8 +334,7 @@ class Scheduler:
                     txn_id=stxn.txn.txn_id,
                     seq=stxn.seq,
                 )
-        executor = Executor(self, stxn)
-        process = self.sim.process(executor.run())
+        process = self.sim.process(run_transaction(self, stxn))
         process.add_callback(self._executor_finished)
 
     def _executor_finished(self, event) -> None:

@@ -16,6 +16,7 @@ from repro.config import ClusterConfig
 from repro.net.messages import PrefetchRequest, ReplicaBatch, SubBatch
 from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
+from repro.partition.partitioner import sort_token
 from repro.sequencer.replication import ReplicationStrategy
 from repro.storage.inputlog import InputLog, LogEntry
 from repro.txn.transaction import SequencedTxn, Transaction
@@ -44,6 +45,8 @@ class Sequencer:
     ):
         self.sim = sim
         self.tracer = tracer
+        # Hoisted is-enabled flag; see Scheduler.
+        self._tracing = tracer.enabled
         self.node_id = node_id
         self.catalog = catalog
         self.config = config
@@ -104,7 +107,7 @@ class Sequencer:
             # would double-apply it, so admission is idempotent per txn id.
             return
         self._seen_txn_ids.add(txn.txn_id)
-        if self.tracer.enabled:
+        if self._tracing:
             # Arrival at the sequencer opens the sequence (epoch-wait)
             # span; a disk deferral re-stamps it on re-admission.
             self.tracer.mark(("seq-arrival", txn.txn_id), self.sim.now)
@@ -120,7 +123,7 @@ class Sequencer:
         # warmth of remote partitions is unknown here, so it is
         # conservative (its own engine's predicate is cluster policy).
         predicate = self.engine._cold_predicate
-        return [key for key in sorted(txn.all_keys(), key=repr) if predicate(key)]
+        return [key for key in sorted(txn.all_keys(), key=sort_token) if predicate(key)]
 
     def _defer_for_prefetch(self, txn: Transaction, cold_keys) -> None:
         self.txns_deferred += 1
@@ -138,7 +141,7 @@ class Sequencer:
         self.sim.schedule(delay, self._admit_deferred, txn)
 
     def _admit_deferred(self, txn: Transaction) -> None:
-        if self.tracer.enabled:
+        if self._tracing:
             # The deferral window is disk time: the transaction waited
             # out the expected prefetch latency before joining an epoch.
             start = self.tracer.take_mark(("seq-arrival", txn.txn_id))
@@ -164,7 +167,7 @@ class Sequencer:
         self._epoch += 1
         batch, self._buffer = tuple(self._buffer), []
         self.txns_sequenced += len(batch)
-        if self.tracer.enabled:
+        if self._tracing:
             for txn in batch:
                 start = self.tracer.take_mark(("seq-arrival", txn.txn_id))
                 self.tracer.record(
@@ -209,7 +212,7 @@ class Sequencer:
         origin = self.node_id.partition
         self.input_log.append(LogEntry(epoch, origin, txns))
         self.batches_dispatched += 1
-        if self.tracer.enabled:
+        if self._tracing:
             published = self.tracer.peek_mark(("publish", origin, epoch))
             if published is not None:
                 # Publish -> dispatchable here: Paxos agreement, the
@@ -237,18 +240,15 @@ class Sequencer:
 
         # Sequencer CPU: batch assembly/serialization delay. The sends
         # are owned by the node so a crash freezes (not loses) them.
+        # Bulk insert: one fan-out, consecutive sequence numbers.
         delay = len(txns) * self.config.costs.sequencer_cpu_per_txn
+        replica = self.node_id.replica
+        calls = []
         for partition in range(self.catalog.num_partitions):
-            target = NodeId(self.node_id.replica, partition)
             message = SubBatch(epoch, origin, tuple(per_partition[partition]))
-            self.sim.schedule_owned(
-                self._owner,
-                delay,
-                self.send,
-                node_address(target),
-                message,
-                message.size_estimate(),
-            )
+            address = node_address(NodeId(replica, partition))
+            calls.append((self.send, (address, message, message.size_estimate())))
+        self.sim.schedule_many(self._owner, delay, calls)
 
     def resend_to(self, partition: int, from_epoch: int = 0) -> int:
         """Re-fan-out logged batches to one scheduler of this replica.

@@ -10,12 +10,30 @@ suspended — their due entries are parked instead of dispatched — and
 later resumed, which replays the parked entries in their original order.
 This is the kernel-level hook the fault injector uses to crash and
 restart a node's timer-driven processes without losing determinism.
+
+The dispatch loop is the hottest code in the repository: every message
+hop, CPU charge, and timer in a run passes through it. ``run`` therefore
+binds the heap, ``heappop`` and the suspended-owner set to locals and
+skips the park branch entirely while no owner is suspended (the common
+case — fault-free runs never pay for crash support).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Set, Tuple
+from math import inf
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -33,6 +51,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        # Tally of schedule_at calls whose target time was already in the
+        # past and got clamped to "now" — visible in metric snapshots so
+        # model bugs that schedule backwards in time do not pass silently.
+        self.schedule_at_clamped = 0
         # Crash/restart support: owners whose entries are parked on pop.
         self._suspended: Set[Hashable] = set()
         self._parked: Dict[Hashable, List[Tuple[Callable[..., None], tuple]]] = {}
@@ -41,7 +63,10 @@ class Simulator:
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` units of virtual time."""
-        self.schedule_owned(None, delay, fn, *args)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args, None))
 
     def schedule_owned(
         self, owner: Optional[Hashable], delay: float, fn: Callable[..., None], *args: Any
@@ -56,9 +81,43 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args, owner))
 
+    def schedule_many(
+        self,
+        owner: Optional[Hashable],
+        delay: float,
+        calls: Iterable[Tuple[Callable[..., None], tuple]],
+    ) -> None:
+        """Bulk-insert ``(fn, args)`` pairs at one delay, in order.
+
+        Equivalent to calling :meth:`schedule_owned` once per pair —
+        consecutive sequence numbers preserve FIFO order among the batch
+        and relative to everything else — but hoists the time arithmetic
+        and method lookups out of the loop.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        when = self.now + delay
+        seq = self._seq
+        heap = self._heap
+        push = heapq.heappush
+        for fn, args in calls:
+            seq += 1
+            push(heap, (when, seq, fn, args, owner))
+        self._seq = seq
+
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
-        """Run ``fn(*args)`` at absolute virtual time ``when``."""
-        self.schedule(max(0.0, when - self.now), fn, *args)
+        """Run ``fn(*args)`` at absolute virtual time ``when``.
+
+        Past times are clamped to "now" (and tallied in
+        ``schedule_at_clamped`` — a nonzero count usually means a model
+        bug computed a timestamp before the current virtual time).
+        """
+        delay = when - self.now
+        if delay < 0.0:
+            self.schedule_at_clamped += 1
+            delay = 0.0
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args, None))
 
     # -- crash/restart hooks --------------------------------------------
 
@@ -75,8 +134,9 @@ class Simulator:
     def resume_owner(self, owner: Hashable) -> None:
         """Unfreeze ``owner`` and replay its parked entries now, in order."""
         self._suspended.discard(owner)
-        for fn, args in self._parked.pop(owner, []):
-            self.schedule_owned(owner, 0.0, fn, *args)
+        parked = self._parked.pop(owner, None)
+        if parked:
+            self.schedule_many(owner, 0.0, parked)
 
     def discard_parked(self, owner: Hashable) -> int:
         """Drop ``owner``'s parked entries (a restart that loses volatile
@@ -120,22 +180,29 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        horizon = inf if until is None else until
+        budget = inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        suspended = self._suspended
+        executed = 0
         try:
-            dispatched = 0
-            while self._heap:
-                when, _seq, fn, args, owner = self._heap[0]
-                if until is not None and when > until:
-                    self.now = until
+            while heap:
+                entry = heap[0]
+                when = entry[0]
+                if when > horizon:
+                    self.now = until  # type: ignore[assignment]
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
                 self.now = when
-                if owner is not None and owner in self._suspended:
-                    self._parked.setdefault(owner, []).append((fn, args))
-                    continue
-                fn(*args)
-                self.events_executed += 1
-                dispatched += 1
-                if max_events is not None and dispatched >= max_events:
+                if suspended:
+                    owner = entry[4]
+                    if owner is not None and owner in suspended:
+                        self._parked.setdefault(owner, []).append((entry[2], entry[3]))
+                        continue
+                entry[2](*entry[3])
+                executed += 1
+                if executed >= budget:
                     raise SimulationError(
                         f"simulation exceeded max_events={max_events}; "
                         "likely a livelock in the model"
@@ -144,23 +211,50 @@ class Simulator:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
+            self.events_executed += executed
             self._running = False
         return self.now
 
-    def run_until_triggered(self, event: Event, limit: Optional[float] = None) -> Any:
-        """Run until ``event`` triggers; return its value (raise if it failed)."""
-        while not event.triggered or event._callbacks is not None:
-            if not self._heap:
-                raise SimulationError("event queue drained before event triggered")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(f"event not triggered before t={limit}")
-            when, _seq, fn, args, owner = heapq.heappop(self._heap)
-            self.now = when
-            if owner is not None and owner in self._suspended:
-                self._parked.setdefault(owner, []).append((fn, args))
-                continue
-            fn(*args)
-            self.events_executed += 1
+    def run_until_triggered(
+        self,
+        event: Event,
+        limit: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """Run until ``event`` triggers; return its value (raise if it failed).
+
+        ``max_events`` bounds dispatches exactly like :meth:`run` — a
+        runaway guard for drains that never converge.
+        """
+        horizon = inf if limit is None else limit
+        budget = inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        suspended = self._suspended
+        executed = 0
+        try:
+            while not event.triggered or event._callbacks is not None:
+                if not heap:
+                    raise SimulationError("event queue drained before event triggered")
+                entry = heap[0]
+                if entry[0] > horizon:
+                    raise SimulationError(f"event not triggered before t={limit}")
+                pop(heap)
+                self.now = entry[0]
+                if suspended:
+                    owner = entry[4]
+                    if owner is not None and owner in suspended:
+                        self._parked.setdefault(owner, []).append((entry[2], entry[3]))
+                        continue
+                entry[2](*entry[3])
+                executed += 1
+                if executed >= budget:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely a livelock in the model"
+                    )
+        finally:
+            self.events_executed += executed
         if event.ok:
             return event.value
         raise event.value
@@ -175,3 +269,4 @@ class Simulator:
         registry.gauge(f"{prefix}.events_executed", lambda: self.events_executed)
         registry.gauge(f"{prefix}.pending_events", lambda: self.pending_events)
         registry.gauge(f"{prefix}.now", lambda: self.now)
+        registry.gauge(f"{prefix}.schedule_at_clamped", lambda: self.schedule_at_clamped)

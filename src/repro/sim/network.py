@@ -9,12 +9,21 @@ remote-read protocol and Paxos both assume.
 Topologies map each address to a *site* (datacenter). Intra-site links
 use the LAN profile, inter-site links the WAN profile; this is how the
 replication experiment models geographically distant replicas.
+
+``send`` is on the critical path of every message hop, so the
+common (fault-free) case avoids recomputation: link specs are memoised
+per address pair, transfer times per (spec, size) — all link profiles
+are jitter-free, so the sample for a given size never changes — and
+same-tick deliveries on one link coalesce into a single heap entry when
+that is provably order-preserving (the pending batch is still the most
+recently scheduled entry and the arrival times are identical).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from heapq import heappush
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import NetworkError
 
@@ -22,7 +31,7 @@ Address = Hashable
 Handler = Callable[[Address, Any], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveryVerdict:
     """What a fault filter decided about one message.
 
@@ -68,10 +77,18 @@ class Topology:
         self.inter_site = inter_site
         self._sites: Dict[Address, int] = {}
         self._overrides: Dict[Tuple[int, int], LinkSpec] = {}
+        # Memoised link() results; invalidated whenever placement or
+        # overrides change (mutations happen at setup time, not per-send).
+        self._link_cache: Dict[Tuple[Address, Address], LinkSpec] = {}
+        # Bumped on every mutation so downstream caches (the network's
+        # per-route transfer times) know to invalidate themselves.
+        self.version = 0
 
     def place(self, address: Address, site: int) -> None:
         """Assign ``address`` to datacenter ``site``."""
         self._sites[address] = site
+        self._link_cache.clear()
+        self.version += 1
 
     def site_of(self, address: Address) -> int:
         return self._sites.get(address, 0)
@@ -80,8 +97,17 @@ class Topology:
         """Override the link spec between two sites (both directions)."""
         self._overrides[(site_a, site_b)] = spec
         self._overrides[(site_b, site_a)] = spec
+        self._link_cache.clear()
+        self.version += 1
 
     def link(self, src: Address, dst: Address) -> LinkSpec:
+        key = (src, dst)
+        spec = self._link_cache.get(key)
+        if spec is None:
+            spec = self._link_cache[key] = self._compute_link(src, dst)
+        return spec
+
+    def _compute_link(self, src: Address, dst: Address) -> LinkSpec:
         if src == dst:
             return self.local
         site_src, site_dst = self.site_of(src), self.site_of(dst)
@@ -129,9 +155,20 @@ class Network:
         self.messages_held = 0
         self.messages_duplicated = 0
         self.messages_delayed = 0
+        self.batched_deliveries = 0
         # Minimum spacing between same-link deliveries; preserves FIFO
         # while keeping equal-latency messages effectively simultaneous.
         self._fifo_epsilon = 1e-9
+        # (src, dst, size) -> transfer time, valid for one topology
+        # version. Specs are frozen and jitter-free, so within a version
+        # a sample never goes stale.
+        self._route_cache: Dict[Tuple[Address, Address, int], float] = {}
+        self._route_version = self.topology.version
+        # link -> (arrival, seq-at-schedule, messages) for the delivery
+        # batch most recently scheduled on that link (see send()).
+        self._pending_batches: Dict[
+            Tuple[Address, Address], Tuple[float, int, List[Any]]
+        ] = {}
 
     def register(self, address: Address, handler: Handler) -> None:
         """Attach ``handler(src, message)`` as the receiver for ``address``."""
@@ -162,13 +199,41 @@ class Network:
                 # The filter has taken custody (it re-sends on heal).
                 self.messages_held += 1
                 return
-        spec = self.topology.link(src, dst)
-        arrival = self.sim.now + spec.transfer_time(size)
+        sim = self.sim
+        cache = self._route_cache
+        version = self.topology.version
+        if version != self._route_version:
+            cache.clear()
+            self._route_version = version
+        route = (src, dst, size)
+        delay = cache.get(route)
+        if delay is None:
+            delay = cache[route] = self.topology.link(src, dst).transfer_time(size)
+        arrival = sim.now + delay
         key = (src, dst)
         previous = self._last_arrival.get(key)
         if previous is not None and arrival <= previous:
             arrival = previous + self._fifo_epsilon
         self._last_arrival[key] = arrival
+        if verdict.extra_delay == 0.0 and verdict.copies == 1:
+            # Fast path: coalesce into the link's pending delivery batch
+            # when provably order-preserving — the batch arrives at the
+            # exact same time AND its heap entry is still the most
+            # recently scheduled entry overall (no other event could
+            # interleave between the batch and this message).
+            batch = self._pending_batches.get(key)
+            if batch is not None and batch[0] == arrival and batch[1] == sim._seq:
+                batch[2].append(message)
+                self.batched_deliveries += 1
+                return
+            messages = [message]
+            # Inlined schedule_at: arrival >= now by construction (link
+            # delay is non-negative and the FIFO clamp only moves it
+            # forward), so the past-clamp branch can never fire.
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (arrival, seq, self._deliver_batch, (key, messages), None))
+            self._pending_batches[key] = (arrival, seq, messages)
+            return
         # Extra delay lands *after* the FIFO clamp and is not recorded in
         # ``_last_arrival``: a later undelayed message can overtake this
         # one, which is exactly the reordering fault being modelled.
@@ -181,6 +246,21 @@ class Network:
             self.sim.schedule_at(
                 arrival + copy * self._fifo_epsilon, self._deliver, src, dst, message
             )
+
+    def _deliver_batch(
+        self, key: Tuple[Address, Address], messages: List[Any]
+    ) -> None:
+        batch = self._pending_batches.get(key)
+        if batch is not None and batch[2] is messages:
+            del self._pending_batches[key]
+        src, dst = key
+        handlers = self._handlers
+        for message in messages:
+            # Re-resolve per message: a handler may unregister its own
+            # address mid-batch (crash during delivery).
+            handler = handlers.get(dst)
+            if handler is not None:
+                handler(src, message)
 
     def _deliver(self, src: Address, dst: Address, message: Any) -> None:
         handler = self._handlers.get(dst)
@@ -195,3 +275,4 @@ class Network:
         registry.gauge(f"{prefix}.messages_held", lambda: self.messages_held)
         registry.gauge(f"{prefix}.messages_duplicated", lambda: self.messages_duplicated)
         registry.gauge(f"{prefix}.messages_delayed", lambda: self.messages_delayed)
+        registry.gauge(f"{prefix}.batched_deliveries", lambda: self.batched_deliveries)

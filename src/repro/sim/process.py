@@ -18,6 +18,7 @@ Example::
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.errors import SimulationError
@@ -33,11 +34,17 @@ class Process(Event):
     __slots__ = ("_generator",)
 
     def __init__(self, sim: "Simulator", generator: Generator):
-        super().__init__(sim)
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator (did you call the function?)")
+        # Inlined Event.__init__ + schedule (hot path).
+        self.sim = sim
+        self.value = None
+        self._callbacks = []
+        self._triggered = False
+        self._ok = None
         self._generator = generator
-        sim.schedule(0.0, self._step, None, True)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, seq, self._step, (None, True), None))
 
     def _step(self, value: Any, ok: bool) -> None:
         try:
@@ -55,7 +62,13 @@ class Process(Event):
             self._generator.close()
             self.fail(SimulationError(f"process yielded non-event: {target!r}"))
             return
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume) — same semantics.
+        callbacks = target._callbacks
+        if callbacks is None:
+            self.sim.schedule(0.0, self._resume, target)
+        else:
+            callbacks.append(self._resume)
 
     def _resume(self, event: Event) -> None:
-        self._step(event.value, bool(event.ok))
+        # _ok is strictly True/False once triggered — no bool() needed.
+        self._step(event.value, event._ok)

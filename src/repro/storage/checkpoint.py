@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import StorageError
-from repro.partition.partitioner import Key
+from repro.partition.partitioner import Key, sort_token
 from repro.storage.kvstore import KVStore
 
 _TOMBSTONE = object()
@@ -107,7 +107,7 @@ class ZigZagCheckpointer:
         self._active = True
         self._stable = {}
         # Sorted walk order: deterministic and replica-identical.
-        self._pending = sorted(self.store.keys(), key=repr)
+        self._pending = sorted(self.store.keys(), key=sort_token)
         self._cursor = 0
         self._snapshot = CheckpointSnapshot(
             partition=self.partition, epoch=epoch, mode=self.mode, started_at=now

@@ -64,7 +64,10 @@ class StorageEngine:
 
     def cold_keys_of(self, keys: Iterable[Key]) -> List[Key]:
         """The subset of ``keys`` that is currently disk resident."""
-        return [key for key in keys if self.is_cold(key)]
+        if not self.disk_enabled:
+            return []
+        predicate, warm = self._cold_predicate, self.warm
+        return [key for key in keys if predicate(key) and key not in warm]
 
     # -- access -------------------------------------------------------------
 
@@ -79,6 +82,10 @@ class StorageEngine:
     def read(self, key: Key, default: Any = None) -> Any:
         """Read a (memory-resident) record."""
         return self.store.get(key, default)
+
+    def read_many(self, keys: Iterable[Key]) -> Any:
+        """Read several memory-resident records as a dict."""
+        return self.store.get_many(keys)
 
     def expected_fetch_latency(self, estimate_error: float = 0.0) -> float:
         """The sequencer's estimate of one fetch, with optional relative error.

@@ -13,7 +13,7 @@ Plain CRUD with two extras the rest of the system needs:
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.partition.partitioner import Key
 from repro.txn.context import DELETED
@@ -40,6 +40,13 @@ class KVStore:
         self.reads += 1
         return self._data.get(key, default)
 
+    def get_many(self, keys: Iterable[Key], default: Any = None) -> Dict[Key, Any]:
+        """Read several records in one call (counted like per-key gets)."""
+        data_get = self._data.get
+        values = {key: data_get(key, default) for key in keys}
+        self.reads += len(values)
+        return values
+
     def put(self, key: Key, value: Any) -> None:
         self._notify(key)
         self.writes += 1
@@ -65,18 +72,35 @@ class KVStore:
 
     # -- bulk operations --------------------------------------------------
 
-    def apply_writes(self, writes: Dict[Key, Any]) -> None:
+    def apply_writes(self, writes: Dict[Key, Any], may_delete: bool = True) -> None:
         """Apply a transaction's buffered writes atomically.
 
-        ``DELETED`` sentinel values remove the key. Application order is
-        sorted by key repr so it is identical across replicas.
+        ``DELETED`` sentinel values remove the key. Per-key updates are
+        independent and the buffer's insertion order is the write order
+        of a deterministic procedure, so replicas agree without a
+        re-sort; the fingerprint is order-independent regardless.
+
+        ``may_delete=False`` asserts the buffer holds no ``DELETED``
+        sentinels (the caller tracked deletions), enabling a plain
+        C-speed ``dict.update``.
         """
-        for key in sorted(writes, key=repr):
-            value = writes[key]
+        if self._watchers:
+            for key, value in writes.items():
+                if value is DELETED:
+                    self.delete(key)
+                else:
+                    self.put(key, value)
+            return
+        data = self._data
+        self.writes += len(writes)
+        if not may_delete:
+            data.update(writes)
+            return
+        for key, value in writes.items():
             if value is DELETED:
-                self.delete(key)
+                data.pop(key, None)
             else:
-                self.put(key, value)
+                data[key] = value
 
     def load_bulk(self, data: Dict[Key, Any]) -> None:
         """Populate directly (loader path: bypasses watchers and counters)."""

@@ -31,11 +31,21 @@ DELETED = _Deleted()
 class TxnContext:
     """What a stored procedure gets to work with during execution."""
 
+    __slots__ = (
+        "txn", "args", "_reads", "_read_set", "_write_set", "writes",
+        "deleted", "_rng",
+    )
+
     def __init__(self, txn: Transaction, reads: Dict[Key, Any]):
         self.txn = txn
         self.args = txn.args
         self._reads = reads
+        self._read_set = txn.read_set
+        self._write_set = txn.write_set
         self.writes: Dict[Key, Any] = {}
+        # True once delete() has buffered a DELETED sentinel — lets the
+        # store apply delete-free buffers with one dict.update.
+        self.deleted = False
         self._rng: Optional[random.Random] = None
 
     def read(self, key: Key) -> Any:
@@ -47,10 +57,11 @@ class TxnContext:
         pre-image requires declaring it in the read set too, since only
         read-set values are shipped between participants.
         """
-        if key in self.writes:
-            value = self.writes[key]
+        writes = self.writes
+        if key in writes:
+            value = writes[key]
             return None if value is DELETED else value
-        if key not in self.txn.read_set:
+        if key not in self._read_set:
             raise FootprintViolation(
                 f"txn {self.txn.txn_id} read outside declared read set: {key!r} "
                 "(write-set keys are readable only after being written)"
@@ -59,7 +70,7 @@ class TxnContext:
 
     def write(self, key: Key, value: Any) -> None:
         """Buffer a write; applied atomically iff the transaction commits."""
-        if key not in self.txn.write_set:
+        if key not in self._write_set:
             raise FootprintViolation(
                 f"txn {self.txn.txn_id} write outside declared write set: {key!r}"
             )
@@ -74,6 +85,7 @@ class TxnContext:
                 f"txn {self.txn.txn_id} delete outside declared write set: {key!r}"
             )
         self.writes[key] = DELETED
+        self.deleted = True
 
     def abort(self, reason: str = "aborted by transaction logic") -> None:
         """Deterministically abort; every active participant takes the

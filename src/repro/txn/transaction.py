@@ -7,7 +7,7 @@ from typing import Any, FrozenSet, Optional, Set, Tuple
 
 from repro.errors import ConfigError
 from repro.partition.catalog import Catalog
-from repro.partition.partitioner import Key
+from repro.partition.partitioner import Key, sorted_keys
 
 # Global sequence number: (epoch, origin_partition, index within batch).
 # Tuple comparison gives exactly Calvin's interleaving rule — all batches
@@ -15,7 +15,7 @@ from repro.partition.partitioner import Key
 GlobalSeq = Tuple[int, int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """A transaction request: procedure + args + declared footprint.
 
@@ -23,6 +23,11 @@ class Transaction:
     sequences and locks from these alone, so executing outside them is a
     :class:`~repro.errors.FootprintViolation`. ``footprint_token`` carries
     the reconnaissance evidence for dependent (OLLP) transactions.
+
+    Treated as immutable after creation (every hot path hands the same
+    instance around); the trailing underscore fields memoise derived
+    views — sorted key orders, participant sets, the lock plan — that
+    sequencer, scheduler and executor each ask for several times.
     """
 
     txn_id: int
@@ -36,6 +41,15 @@ class Transaction:
     footprint_token: Any = None
     submit_time: float = 0.0
     restarts: int = 0
+    # Memo fields: derived views, excluded from comparisons and repr
+    # (input-log replay checks compare transactions across independent
+    # runs whose memoization states differ). Written once each via
+    # ``object.__setattr__``; reads are plain (fast) slot loads.
+    _sorted_reads: Any = field(default=None, init=False, repr=False, compare=False)
+    _sorted_writes: Any = field(default=None, init=False, repr=False, compare=False)
+    _participants_cache: Any = field(default=None, init=False, repr=False, compare=False)
+    _active_cache: Any = field(default=None, init=False, repr=False, compare=False)
+    _lock_plan: Any = field(default=None, init=False, repr=False, compare=False)
 
     @staticmethod
     def create(
@@ -69,11 +83,43 @@ class Transaction:
     def all_keys(self) -> FrozenSet[Key]:
         return self.read_set | self.write_set
 
+    def sorted_reads(self) -> Tuple[Key, ...]:
+        """``read_set`` in stable (sort-token) order, memoised."""
+        cached = self._sorted_reads
+        if cached is None:
+            if self.read_set == self.write_set:
+                cached = self.sorted_writes()
+            else:
+                cached = tuple(sorted_keys(self.read_set))
+            object.__setattr__(self, "_sorted_reads", cached)
+        return cached
+
+    def sorted_writes(self) -> Tuple[Key, ...]:
+        """``write_set`` in stable (sort-token) order, memoised."""
+        cached = self._sorted_writes
+        if cached is None:
+            cached = tuple(sorted_keys(self.write_set))
+            object.__setattr__(self, "_sorted_writes", cached)
+        return cached
+
     def participants(self, catalog: Catalog) -> Set[int]:
-        """Partitions holding any key this transaction touches."""
-        parts = catalog.partitions_of(self.all_keys())
+        """Partitions holding any key this transaction touches.
+
+        Memoised per catalog (sequencer, scheduler and executor all ask
+        several times per transaction). Callers treat the result as
+        read-only.
+        """
+        cache = self._participants_cache
+        if cache is not None and cache[0] is catalog:
+            return cache[1]
+        if self.read_set == self.write_set:
+            parts = catalog.partitions_of(self.read_set)
+        else:
+            parts = catalog.partitions_of(self.read_set)
+            parts |= catalog.partitions_of(self.write_set)
         if not parts:
             raise ConfigError(f"transaction {self.txn_id} has an empty footprint")
+        object.__setattr__(self, "_participants_cache", (catalog, parts))
         return parts
 
     def active_participants(self, catalog: Catalog) -> Set[int]:
@@ -81,12 +127,21 @@ class Transaction:
 
         Write-set partitions are active. A read-only transaction has one
         active participant (the lowest-numbered involved partition),
-        which executes the logic and produces the result.
+        which executes the logic and produces the result. Memoised like
+        :meth:`participants`; callers treat the result as read-only.
         """
-        writers = catalog.partitions_of(self.write_set)
-        if writers:
-            return writers
-        return {min(self.participants(catalog))}
+        cache = self._active_cache
+        if cache is not None and cache[0] is catalog:
+            return cache[1]
+        if self.write_set and self.read_set <= self.write_set:
+            # all_keys == write_set: every participant is active.
+            active = self.participants(catalog)
+        else:
+            active = catalog.partitions_of(self.write_set)
+            if not active:
+                active = {min(self.participants(catalog))}
+        object.__setattr__(self, "_active_cache", (catalog, active))
+        return active
 
     def reply_partition(self, catalog: Catalog) -> int:
         """The (deterministic) participant that reports the result to the client."""

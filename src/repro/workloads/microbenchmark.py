@@ -34,10 +34,11 @@ RECORDS_PER_TXN = 10
 def _bump(ctx) -> int:
     """Microbenchmark logic: read all records, write each incremented."""
     total = 0
-    for key in sorted(ctx.txn.write_set, key=repr):
-        value = ctx.read(key) or 0
+    read, write = ctx.read, ctx.write
+    for key in ctx.txn.sorted_writes():
+        value = read(key) or 0
         total += value
-        ctx.write(key, value + 1)
+        write(key, value + 1)
     return total
 
 
@@ -77,6 +78,8 @@ class Microbenchmark(Workload):
         # Participants of a multipartition transaction (the paper uses
         # 2; the fan-out ablation sweeps it).
         self.partitions_per_txn = partitions_per_txn
+        # Reused sample population (identical draws, no range per call).
+        self._cold_range = range(cold_set_size)
 
     @property
     def contention_index(self) -> float:
@@ -119,19 +122,22 @@ class Microbenchmark(Workload):
             num_partitions > 1 and rng.random() < self.mp_fraction
         )
         keys: List[Key] = []
+        append = keys.append
+        sample = rng.sample
+        cold_range = self._cold_range
         if multipartition:
             fanout = min(self.partitions_per_txn, num_partitions)
             others = [p for p in range(num_partitions) if p != origin_partition]
-            partitions = [origin_partition] + rng.sample(others, fanout - 1)
+            partitions = [origin_partition] + sample(others, fanout - 1)
             cold_each = (RECORDS_PER_TXN - fanout) // fanout
             for partition in partitions:
-                keys.append(("hot", partition, rng.randrange(self.hot_set_size)))
-                for index in rng.sample(range(self.cold_set_size), cold_each):
-                    keys.append(("cold", partition, index))
+                append(("hot", partition, rng.randrange(self.hot_set_size)))
+                for index in sample(cold_range, cold_each):
+                    append(("cold", partition, index))
         else:
-            keys.append(("hot", origin_partition, rng.randrange(self.hot_set_size)))
-            for index in rng.sample(range(self.cold_set_size), RECORDS_PER_TXN - 1):
-                keys.append(("cold", origin_partition, index))
+            append(("hot", origin_partition, rng.randrange(self.hot_set_size)))
+            for index in sample(cold_range, RECORDS_PER_TXN - 1):
+                append(("cold", origin_partition, index))
 
         if self.archive_fraction > 0 and rng.random() < self.archive_fraction:
             # Swap the last cold access for an archive (disk-tier) record.

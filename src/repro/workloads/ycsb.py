@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.partition.catalog import Catalog
-from repro.partition.partitioner import FuncPartitioner, Key, Partitioner
+from repro.partition.partitioner import FuncPartitioner, Key, Partitioner, sort_token
 from repro.txn.procedures import Procedure, ProcedureRegistry
 from repro.workloads.base import TxnSpec, Workload
 
@@ -50,12 +50,12 @@ class ZipfGenerator:
 
 
 def _read_logic(ctx) -> Dict:
-    return {key: ctx.read(key) for key in sorted(ctx.txn.read_set, key=repr)}
+    return {key: ctx.read(key) for key in ctx.txn.sorted_reads()}
 
 
 def _update_logic(ctx) -> int:
     updated = 0
-    for key in sorted(ctx.txn.write_set, key=repr):
+    for key in ctx.txn.sorted_writes():
         value = ctx.read(key) or 0
         ctx.write(key, value + 1)
         updated += 1
@@ -119,7 +119,7 @@ class YcsbWorkload(Workload):
         keys = set()
         while len(keys) < count:
             keys.add(("ycsb", partition, self._zipf.sample(rng)))
-        return sorted(keys, key=repr)
+        return sorted(keys, key=sort_token)
 
     def generate(
         self, rng: random.Random, origin_partition: int, catalog: Catalog

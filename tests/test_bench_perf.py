@@ -1,0 +1,124 @@
+"""The wall-clock perf harness: measurement records and regression gate."""
+
+from __future__ import annotations
+
+from repro.bench.perf import (
+    DEFAULT_THRESHOLD,
+    PerfConfig,
+    calibration_ops_per_sec,
+    canned_configs,
+    compare,
+    run_config,
+)
+from repro.cli import build_parser
+from repro.config import ClusterConfig
+from repro.workloads.microbenchmark import Microbenchmark
+
+
+def _tiny() -> PerfConfig:
+    return PerfConfig(
+        name="tiny",
+        description="test-only miniature config",
+        build=lambda: (
+            Microbenchmark(mp_fraction=0.2, hot_set_size=10, cold_set_size=100),
+            ClusterConfig(num_partitions=2, seed=42),
+        ),
+        clients_per_partition=4,
+        warmup=0.02,
+        duration=0.1,
+        quick_duration=0.05,
+    )
+
+
+def test_canned_matrix_covers_acceptance_configs():
+    names = [config.name for config in canned_configs()]
+    assert names == ["micro-low", "micro-high", "tpcc-4p"]
+
+
+def test_run_config_record_shape():
+    record = run_config(_tiny())
+    assert record["virtual_duration"] == 0.1
+    assert record["events"] > 0
+    assert record["committed"] > 0
+    assert record["wall_seconds"] > 0
+    assert record["events_per_sec"] > 0
+    assert record["txns_per_sec"] > 0
+
+
+def test_run_config_quick_mode_uses_short_duration():
+    record = run_config(_tiny(), quick=True)
+    assert record["virtual_duration"] == 0.05
+
+
+def test_run_config_virtual_results_deterministic():
+    # Wall-clock varies run to run; the simulated work must not.
+    first = run_config(_tiny())
+    second = run_config(_tiny())
+    assert first["events"] == second["events"]
+    assert first["committed"] == second["committed"]
+
+
+def test_calibration_is_positive():
+    assert calibration_ops_per_sec(n=10_000) > 0
+
+
+def _payload(events_per_sec: float, calibration: float = 1e6) -> dict:
+    return {
+        "schema": 1,
+        "mode": "full",
+        "calibration_ops_per_sec": calibration,
+        "configs": {"micro-low": {"events_per_sec": events_per_sec}},
+    }
+
+
+def test_compare_passes_within_threshold():
+    comparison = compare(_payload(100_000.0), _payload(80_000.0))
+    assert comparison.ok
+    assert "PASS" in str(comparison)
+
+
+def test_compare_flags_regression():
+    comparison = compare(_payload(100_000.0), _payload(60_000.0))
+    assert not comparison.ok
+    assert "REGRESSION" in str(comparison)
+
+
+def test_compare_normalises_by_calibration():
+    # Half the raw speed on a machine measured at half the calibration
+    # score is not a regression.
+    baseline = _payload(100_000.0, calibration=2e6)
+    current = _payload(55_000.0, calibration=1e6)
+    assert compare(baseline, current).ok
+
+
+def test_compare_schema_mismatch_fails():
+    baseline = _payload(100_000.0)
+    baseline["schema"] = 0
+    assert not compare(baseline, _payload(100_000.0)).ok
+
+
+def test_compare_skips_configs_missing_from_either_side():
+    baseline = _payload(100_000.0)
+    current = _payload(100_000.0)
+    current["configs"]["brand-new"] = {"events_per_sec": 1.0}
+    del current["configs"]["micro-low"]
+    comparison = compare(baseline, current)
+    assert comparison.ok
+    text = str(comparison)
+    assert "skipped" in text
+
+
+def test_default_threshold_is_thirty_percent():
+    assert DEFAULT_THRESHOLD == 0.30
+
+
+def test_cli_parses_bench_perf_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["bench", "perf", "--quick", "--no-write", "--check", "x.json"]
+    )
+    assert args.command == "bench"
+    assert args.bench_command == "perf"
+    assert args.quick and args.no_write
+    assert args.check == "x.json"
+    assert args.out == "BENCH_perf.json"

@@ -1,0 +1,82 @@
+"""Golden trace digests: the determinism oracle for hot-path work.
+
+Every performance change to the kernel, lock manager, network or
+scheduler must leave these digests bit-identical — the span trace
+captures the exact (time, order, phase) interleaving of every
+transaction, so any reordering, dropped hop, or timing drift shows up
+as a digest change even when throughput numbers look fine.
+
+If a digest changes, the change is NOT a safe optimisation: it altered
+the simulated execution. Either fix the regression or — only for an
+intentional semantic change — re-record the constants below in the same
+commit and say why in its message.
+"""
+
+from __future__ import annotations
+
+from repro import CalvinCluster, ClusterConfig, Microbenchmark
+from repro.baseline.cluster import BaselineCluster
+from repro.obs import TraceRecorder
+
+GOLDEN_CALVIN = (
+    "284f69ede6994d07dfb18e418ddacf32ce5bdc6bea6fc69ee1aa17e2b2b60251",
+    1574,  # events executed
+    80,    # committed
+)
+GOLDEN_BASELINE = (
+    "8d3d25424f130d6f42125f7c022827e019aa2f1be2c2cb3d9d5dab38dc2dcc85",
+    2291,
+    35,
+)
+GOLDEN_CHAOS = (
+    "3f5f2fd1e4b967143c5f3544bc9595209a5c1112bddfa6578732573ab260e4ab",
+    6258,
+    80,
+)
+
+
+def _workload():
+    return Microbenchmark(mp_fraction=0.3, hot_set_size=10, cold_set_size=100)
+
+
+def _run_calvin(seed, replicas=1, fault_profile=None, duration=0.3):
+    tracer = TraceRecorder()
+    config = ClusterConfig(
+        num_partitions=2,
+        num_replicas=replicas,
+        replication_mode="paxos" if replicas > 1 else "none",
+        seed=seed,
+        fault_profile=fault_profile,
+        fault_horizon=duration * 0.85,
+    )
+    cluster = CalvinCluster(config, workload=_workload(), tracer=tracer)
+    cluster.load_workload_data()
+    cluster.add_clients(4, max_txns=10)
+    cluster.run(duration=duration)
+    cluster.quiesce()
+    return tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed
+
+
+def test_golden_calvin_digest():
+    assert _run_calvin(seed=2012) == GOLDEN_CALVIN
+
+
+def test_golden_baseline_digest():
+    tracer = TraceRecorder()
+    config = ClusterConfig(num_partitions=2, seed=2012)
+    cluster = BaselineCluster(config, workload=_workload(), tracer=tracer)
+    cluster.load_workload_data()
+    cluster.add_clients(4, max_txns=10)
+    cluster.run(duration=0.3)
+    cluster.quiesce()
+    observed = (tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed)
+    assert observed == GOLDEN_BASELINE
+
+
+def test_golden_chaos_digest():
+    # Replicated cluster under the chaos-mix fault profile: the digest
+    # also covers Paxos, fault injection and recovery scheduling.
+    observed = _run_calvin(
+        seed=7, replicas=2, fault_profile="chaos-mix", duration=0.5
+    )
+    assert observed == GOLDEN_CHAOS

@@ -123,3 +123,43 @@ class TestRunUntilTriggered:
         sim.timeout(20.0)
         with pytest.raises(SimulationError):
             sim.run_until_triggered(event, limit=5.0)
+
+    def test_max_events_guard(self, sim):
+        event = sim.event()  # never triggered
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until_triggered(event, max_events=50)
+
+
+class TestBulkScheduling:
+    def test_schedule_many_preserves_fifo(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "before")
+        sim.schedule_many(
+            None, 1.0, [(order.append, ("x",)), (order.append, ("y",))]
+        )
+        sim.schedule(1.0, order.append, "after")
+        sim.run()
+        assert order == ["before", "x", "y", "after"]
+
+    def test_schedule_many_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_many(None, -0.5, [(lambda: None, ())])
+
+
+class TestClampCounter:
+    def test_schedule_at_past_is_counted(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: sim.schedule_at(1.0, fired.append, "late"))
+        sim.run()
+        assert fired == ["late"]
+        assert sim.schedule_at_clamped == 1
+
+    def test_schedule_at_future_is_not_counted(self, sim):
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.schedule_at_clamped == 0
