@@ -13,6 +13,7 @@ from typing import Dict
 
 from repro import (
     CalvinCluster,
+    ClientProfile,
     ClusterConfig,
     ProcedureRegistry,
     TxnSpec,
@@ -74,7 +75,7 @@ def main() -> None:
         workload=TransferWorkload(),
     )
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=20, max_txns=50)
+    cluster.add_clients(ClientProfile(per_partition=20, max_txns=50))
     report = cluster.run(duration=0.5)
     cluster.quiesce()
 

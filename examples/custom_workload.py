@@ -14,6 +14,7 @@ from typing import Dict
 
 from repro import (
     CalvinCluster,
+    ClientProfile,
     ClusterConfig,
     ProcedureRegistry,
     TxnSpec,
@@ -102,7 +103,7 @@ def measure(celebrities: int) -> float:
         record_history=False,
     )
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=200)
+    cluster.add_clients(ClientProfile(per_partition=200))
     report = cluster.run(duration=0.25, warmup=0.15)
     return report.throughput
 
@@ -113,7 +114,7 @@ def main() -> None:
         ClusterConfig(num_partitions=2, seed=31), workload=SocialWorkload()
     )
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=8, max_txns=25)
+    cluster.add_clients(ClientProfile(per_partition=8, max_txns=25))
     cluster.run(duration=0.3)
     cluster.quiesce()
     checked = check_serializability(cluster)

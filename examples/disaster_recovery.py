@@ -10,7 +10,7 @@ cluster, rebuilds from checkpoint + log, and verifies the reconstruction
 is exact.
 """
 
-from repro import CalvinCluster, ClusterConfig, Microbenchmark
+from repro import CalvinCluster, ClientProfile, ClusterConfig, Microbenchmark
 
 
 def main() -> None:
@@ -18,7 +18,7 @@ def main() -> None:
     config = ClusterConfig(num_partitions=2, seed=77)
     cluster = CalvinCluster(config, workload=workload, record_history=False)
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=10, max_txns=80)
+    cluster.add_clients(ClientProfile(per_partition=10, max_txns=80))
 
     # Checkpoint while transactions are running (no outage: zigzag keeps
     # two versions per mutated record and dumps in the background).

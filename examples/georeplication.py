@@ -12,6 +12,7 @@ tail on failure); Paxos agreement adds one WAN round trip to latency and
 
 from repro import (
     CalvinCluster,
+    ClientProfile,
     ClusterConfig,
     Microbenchmark,
     check_replica_consistency,
@@ -29,7 +30,7 @@ def run_mode(mode: str, replicas: int, clients: int) -> None:
     )
     cluster = CalvinCluster(config, workload=workload, record_history=False)
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=clients)
+    cluster.add_clients(ClientProfile(per_partition=clients))
     # The warmup lets the Paxos leader lease settle before measuring.
     report = cluster.run(duration=0.25, warmup=0.4)
     print(f"{mode:>5} x{replicas}: {report.throughput:9,.0f} txn/s   "
@@ -51,7 +52,7 @@ def main() -> None:
     )
     cluster = CalvinCluster(config, workload=workload)
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=8, max_txns=25)
+    cluster.add_clients(ClientProfile(per_partition=8, max_txns=25))
     cluster.run(duration=0.3)
     cluster.quiesce()
     check_replica_consistency(cluster)

@@ -10,7 +10,7 @@ Watch the restart counter: that is OLLP earning its keep under a
 New-Order-heavy mix.
 """
 
-from repro import CalvinCluster, ClusterConfig, TpccWorkload, check_serializability
+from repro import CalvinCluster, ClientProfile, ClusterConfig, TpccWorkload, check_serializability
 from repro.workloads.tpcc import TpccScale, keys
 
 
@@ -23,7 +23,7 @@ def main() -> None:
         ClusterConfig(num_partitions=2, seed=42), workload=workload
     )
     cluster.load_workload_data()
-    cluster.add_clients(per_partition=15, max_txns=40)
+    cluster.add_clients(ClientProfile(per_partition=15, max_txns=40))
     report = cluster.run(duration=0.5)
     cluster.quiesce()
 

@@ -23,14 +23,38 @@ Quickstart::
     result = db.execute("deposit", ("acct", 5),
                         read_set=["acct"], write_set=["acct"])
     assert result.committed and db.get("acct") == 5
+
+Public surface (everything in ``__all__``; anything else is internal):
+
+- **Facade** — :class:`CalvinDB` (sync ``execute`` / async ``submit`` +
+  :class:`TxnHandle`), for examples and small programs.
+- **Cluster assembly** — :class:`CalvinCluster`, :class:`ClusterConfig`,
+  :class:`BaselineConfig`, :class:`CostModel`, ``DEFAULT_CONFIG``, for
+  experiments that wire workloads, clients and faults explicitly.
+- **Traffic** — :class:`ClientProfile` (shared closed/open-loop client
+  spec consumed by ``add_clients``, the bench harness and the CLI).
+- **Transactions** — :class:`Transaction`, :class:`TransactionResult`,
+  :class:`TxnStatus`, :class:`TxnContext`, :class:`Procedure`,
+  :class:`ProcedureRegistry`, :class:`Footprint`.
+- **Workloads** — :class:`Microbenchmark`, :class:`TpccWorkload`,
+  :class:`YcsbWorkload`, :class:`Workload`, :class:`TxnSpec`.
+- **Faults** — :class:`FaultPlan`, :class:`FaultEvent`,
+  :class:`FaultInjector`, ``FAULT_PROFILES``, :func:`build_profile`,
+  :func:`random_plan`.
+- **Observability** — :class:`MetricsRegistry`, :class:`TraceRecorder`,
+  :func:`trace_digest`.
+- **Checkers** — the ``check_*`` correctness oracles.
+- **Errors** — :class:`ReproError` and friends.
 """
 
 from repro.config import BaselineConfig, ClusterConfig, CostModel, DEFAULT_CONFIG
 from repro.core import (
     CalvinCluster,
     CalvinDB,
+    ClientProfile,
     Metrics,
     RunReport,
+    TxnHandle,
     check_conflict_order,
     check_epoch_contiguity,
     check_no_double_apply,
@@ -54,6 +78,7 @@ from repro.errors import (
     ReproError,
     TransactionAborted,
 )
+from repro.obs import MetricsRegistry, TraceRecorder, trace_digest
 from repro.txn import (
     Footprint,
     Procedure,
@@ -77,6 +102,7 @@ __all__ = [
     "BaselineConfig",
     "CalvinCluster",
     "CalvinDB",
+    "ClientProfile",
     "ClusterConfig",
     "ConfigError",
     "ConsistencyError",
@@ -89,16 +115,19 @@ __all__ = [
     "Footprint",
     "FootprintViolation",
     "Metrics",
+    "MetricsRegistry",
     "Microbenchmark",
     "Procedure",
     "ProcedureRegistry",
     "ReproError",
     "RunReport",
     "TpccWorkload",
+    "TraceRecorder",
     "Transaction",
     "TransactionAborted",
     "TransactionResult",
     "TxnContext",
+    "TxnHandle",
     "TxnSpec",
     "TxnStatus",
     "Workload",
@@ -112,4 +141,5 @@ __all__ = [
     "check_replica_prefix_consistency",
     "check_serializability",
     "random_plan",
+    "trace_digest",
 ]

@@ -4,11 +4,12 @@ drive both systems."""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.baseline.node import BaselineNode
 from repro.config import BaselineConfig, ClusterConfig
 from repro.core.clients import ClosedLoopClient
+from repro.core.traffic import ClientProfile
 from repro.core.metrics import Metrics, RunReport
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
@@ -113,24 +114,48 @@ class BaselineCluster:
 
     def add_clients(
         self,
-        per_partition: int,
+        profile: Union[ClientProfile, int, None] = None,
         workload: Optional[Workload] = None,
         think_time: float = 0.0,
         max_txns: Optional[int] = None,
+        *,
+        per_partition: Optional[int] = None,
     ) -> List[ClosedLoopClient]:
-        workload = workload or self.workload
+        """Create clients from a :class:`ClientProfile` (closed-loop only;
+        the baseline has no admission front-end to absorb open-loop
+        overload). The legacy kwargs form works through the same
+        deprecation shim as :meth:`CalvinCluster.add_clients`."""
+        if not isinstance(profile, ClientProfile):
+            from repro.core.cluster import _warn_legacy_add_clients
+
+            _warn_legacy_add_clients()
+            count = per_partition if per_partition is not None else profile
+            if not isinstance(count, int):
+                raise ConfigError(
+                    "add_clients needs a ClientProfile or a per-partition count"
+                )
+            profile = ClientProfile(
+                per_partition=count,
+                workload=workload,
+                think_time=think_time,
+                max_txns=max_txns,
+            )
+        profile.validate()
+        if profile.mode != "closed":
+            raise ConfigError("the baseline system supports closed-loop clients only")
+        workload = profile.workload or self.workload
         if workload is None:
             raise ConfigError("no workload for clients")
         created = []
         for partition in range(self.config.num_partitions):
-            for _ in range(per_partition):
+            for _ in range(profile.per_partition):
                 client = ClosedLoopClient(
                     self,
                     partition,
                     len(self.clients),
                     workload,
-                    think_time,
-                    max_txns,
+                    profile.think_time,
+                    profile.max_txns,
                     retry_backoff=self.baseline.retry_backoff,
                     max_restarts=self.baseline.max_retries,
                 )

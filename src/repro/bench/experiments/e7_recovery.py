@@ -13,6 +13,7 @@ from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.checkers import check_replica_consistency
 from repro.core.cluster import CalvinCluster
+from repro.core.traffic import ClientProfile
 from repro.errors import ConsistencyError
 from repro.workloads.microbenchmark import Microbenchmark
 
@@ -25,7 +26,7 @@ def run(scale: str = "quick", seed: int = 2012) -> ExperimentResult:
     )
     cluster = CalvinCluster(config, workload=workload, record_history=False)
     cluster.load_workload_data()
-    cluster.add_clients(10, max_txns=txns_per_client)
+    cluster.add_clients(ClientProfile(per_partition=10, max_txns=txns_per_client))
     done = cluster.schedule_checkpoint(at_time=0.12, mode="zigzag")
     cluster.run(duration=0.5)
     cluster.quiesce()

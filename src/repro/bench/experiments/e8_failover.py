@@ -14,6 +14,7 @@ from typing import List, Tuple
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
+from repro.core.traffic import ClientProfile
 from repro.faults.plan import FaultPlan
 from repro.workloads.microbenchmark import Microbenchmark
 
@@ -32,7 +33,7 @@ def _run(crash_replicas: List[int], seed: int, machines: int,
         config, workload=workload, record_history=False, fault_plan=plan
     )
     cluster.load_workload_data()
-    cluster.add_clients(1200)  # saturate through the WAN commit latency
+    cluster.add_clients(ClientProfile(per_partition=1200))  # saturate through the WAN commit latency
     cluster.run(duration=duration, warmup=0.0)
     # Skip the leader-election warmup in the reported series.
     return cluster.metrics.throughput.series(cluster.sim.now - 0.05, start_time=0.4)

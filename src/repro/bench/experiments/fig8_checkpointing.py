@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
+from repro.core.traffic import ClientProfile
 from repro.workloads.microbenchmark import Microbenchmark
 
 # Sized so the dump takes a visible fraction of the run.
@@ -28,7 +29,7 @@ def _throughput_series(mode: str, seed: int, machines: int, duration: float,
     config = ClusterConfig(num_partitions=machines, seed=seed)
     cluster = CalvinCluster(config, workload=workload, record_history=False)
     cluster.load_workload_data()
-    cluster.add_clients(300)
+    cluster.add_clients(ClientProfile(per_partition=300))
     done = cluster.schedule_checkpoint(at_time=checkpoint_at, mode=mode)
     cluster.run(duration=duration, warmup=0.0)
     series = cluster.metrics.throughput.series(cluster.sim.now - 0.1, start_time=0.1)

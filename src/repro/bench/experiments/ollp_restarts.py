@@ -15,6 +15,7 @@ from repro.bench.harness import ScaleProfile
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
+from repro.core.traffic import ClientProfile
 from repro.workloads.tpcc import TpccWorkload
 
 # Delivery is held at a fixed 5% while the queue-churning New Order
@@ -58,7 +59,7 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> Experiment
         config = ClusterConfig(num_partitions=machines, seed=seed)
         cluster = CalvinCluster(config, workload=workload, record_history=False)
         cluster.load_workload_data()
-        cluster.add_clients(clients)
+        cluster.add_clients(ClientProfile(per_partition=clients))
         # Warm up, snapshot cumulative counters, then measure deltas so
         # warm-up restarts don't pollute the ratio.
         cluster.run(duration=profile.warmup)

@@ -9,6 +9,7 @@ from repro.baseline.cluster import BaselineCluster
 from repro.config import BaselineConfig, ClusterConfig
 from repro.core.cluster import CalvinCluster
 from repro.core.metrics import RunReport
+from repro.core.traffic import ClientProfile
 from repro.errors import ConfigError
 from repro.obs import TraceRecorder
 from repro.workloads.base import Workload
@@ -103,19 +104,26 @@ def run_calvin(
     clients_per_partition: Optional[int] = None,
     tracer: Optional[TraceRecorder] = None,
     on_cluster: Optional[Callable[[CalvinCluster], None]] = None,
+    clients: Optional[ClientProfile] = None,
 ) -> RunReport:
     """Build a Calvin cluster, saturate it, measure one window.
 
     Pass a live :class:`TraceRecorder` to collect per-phase spans for
-    the run (e.g. for the latency-breakdown experiment), or an
+    the run (e.g. for the latency-breakdown experiment), an
     ``on_cluster`` hook to instrument the built cluster before it runs
-    (e.g. attach a :class:`LockStatsSampler`).
+    (e.g. attach a :class:`LockStatsSampler`), or a full
+    :class:`ClientProfile` (``clients``) to drive the cluster with
+    something other than the default closed-loop saturation population.
     """
     cluster = CalvinCluster(
         config, workload=workload, record_history=False, tracer=tracer
     )
     cluster.load_workload_data()
-    cluster.add_clients(clients_per_partition or profile.clients_per_partition)
+    if clients is None:
+        clients = ClientProfile(
+            per_partition=clients_per_partition or profile.clients_per_partition
+        )
+    cluster.add_clients(clients)
     if on_cluster is not None:
         on_cluster(cluster)
     return cluster.run(duration=profile.duration, warmup=profile.warmup)
@@ -132,7 +140,11 @@ def run_baseline(
     """Same measurement against the System R*-style baseline."""
     cluster = BaselineCluster(config, baseline=baseline, workload=workload, tracer=tracer)
     cluster.load_workload_data()
-    cluster.add_clients(clients_per_partition or profile.clients_per_partition)
+    cluster.add_clients(
+        ClientProfile(
+            per_partition=clients_per_partition or profile.clients_per_partition
+        )
+    )
     return cluster.run(duration=profile.duration, warmup=profile.warmup)
 
 

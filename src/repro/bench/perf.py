@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
+from repro.core.traffic import ClientProfile
 from repro.workloads.base import Workload
 from repro.workloads.microbenchmark import Microbenchmark
 from repro.workloads.tpcc import TpccWorkload
@@ -108,7 +109,7 @@ def run_config(config: PerfConfig, quick: bool = False) -> Dict[str, Any]:
     workload, cluster_config = config.build()
     cluster = CalvinCluster(cluster_config, workload=workload, record_history=False)
     cluster.load_workload_data()
-    cluster.add_clients(config.clients_per_partition)
+    cluster.add_clients(ClientProfile(per_partition=config.clients_per_partition))
     cluster.start()
     for client in cluster.clients:
         client.start()

@@ -11,9 +11,13 @@ Commands:
   threshold).
 - ``demo`` — a 30-second guided tour (tiny cluster, a few transactions,
   a serializability check).
-- ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]`` —
-  run the microbenchmark under a named fault profile, verify every
-  correctness invariant, and print the reproducible fault-trace digest.
+- ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]
+  [--open-loop RATE] [--admission POLICY]`` — run the microbenchmark
+  under a named fault profile, verify every correctness invariant, and
+  print the reproducible fault-trace digest. With ``--open-loop`` the
+  cluster is additionally driven by open-loop clients at RATE txn/s per
+  client through an admission controller, so overload and faults
+  compose.
 - ``trace [--system calvin|baseline|both] [--format summary|chrome]
   [--out F]`` — run the microbenchmark with span tracing on and emit a
   per-phase latency breakdown or a Chrome ``trace_event`` JSON loadable
@@ -21,6 +25,9 @@ Commands:
 - ``bench perf [--quick] [--out F] [--check BASELINE]`` — measure the
   simulator's own wall-clock speed (events/sec, txns/sec) on a canned
   config matrix and optionally fail on regression vs a baseline.
+- ``bench saturation [--scale S] [--seed N] [--policy P] [--arrival A]
+  [--partitions K]`` — sweep open-loop offered load across the
+  admission knee and print the throughput-vs-latency curve.
 """
 
 from __future__ import annotations
@@ -98,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(chaos, duration=0.8, replicas=2)
     chaos.add_argument("--trace", action="store_true",
                        help="print the full fault trace, not just its digest")
+    chaos.add_argument("--open-loop", type=float, metavar="RATE", default=None,
+                       help="also drive open-loop clients at RATE txn/s each "
+                            "(overload and faults compose)")
+    chaos.add_argument("--admission", default="backpressure",
+                       choices=("queue", "shed", "backpressure"),
+                       help="admission policy in front of the sequencers "
+                            "(used with --open-loop; default backpressure)")
 
     trace = sub.add_parser(
         "trace", help="trace the microbenchmark and print latency breakdowns"
@@ -145,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--threshold", type=float, default=None,
                       help="normalised events/sec drop flagged as regression "
                            "(default 0.30)")
+    saturation = bench_sub.add_parser(
+        "saturation",
+        help="sweep open-loop offered load across the admission knee",
+    )
+    saturation.add_argument("--scale", default="quick",
+                            choices=("smoke", "quick", "full"))
+    saturation.add_argument("--seed", type=int, default=2012)
+    saturation.add_argument("--policy", default="backpressure",
+                            choices=("queue", "shed", "backpressure"))
+    saturation.add_argument("--arrival", default="poisson",
+                            choices=("poisson", "uniform", "burst"))
+    saturation.add_argument("--partitions", type=int, default=2)
+    saturation.add_argument("--json", metavar="FILE",
+                            help="also write the curve as JSON")
+    saturation.add_argument("--csv", metavar="FILE",
+                            help="also write the curve as CSV")
+    saturation.add_argument("--chart", action="store_true",
+                            help="render the curve as ASCII bars")
     return parser
 
 
@@ -213,8 +245,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.config import ClusterConfig
     from repro.core import checkers
     from repro.core.cluster import CalvinCluster
+    from repro.core.traffic import ClientProfile
     from repro.workloads.microbenchmark import Microbenchmark
 
+    open_loop = args.open_loop is not None
     config = ClusterConfig(
         num_partitions=args.partitions,
         num_replicas=args.replicas,
@@ -222,6 +256,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_profile=args.profile,
         fault_horizon=args.duration * 0.85,
+        admission_policy=args.admission if open_loop else "none",
+        admission_epoch_budget=20 if open_loop else None,
     )
     cluster = CalvinCluster(
         config,
@@ -229,7 +265,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         monitor_interval=config.epoch_duration * 5,
     )
     cluster.load_workload_data()
-    cluster.add_clients(4, max_txns=20)
+    cluster.add_clients(ClientProfile(per_partition=4, max_txns=20))
+    if open_loop:
+        # Bounded arrivals so quiesce() still has a fixed point: overload
+        # and faults compose, then the cluster drains.
+        arrivals = max(1, int(args.open_loop * args.duration))
+        cluster.add_clients(
+            ClientProfile(
+                per_partition=4, mode="open", rate=args.open_loop,
+                max_txns=arrivals,
+            )
+        )
     injector = cluster.fault_injector
     print(injector.plan.describe())
     print(f"running {args.duration}s of virtual time (seed {args.seed})...")
@@ -251,6 +297,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(f"committed {cluster.metrics.committed} txns; "
           f"{injector.monitor_checks} live monitor sweeps; "
           f"{len(injector.trace)} fault-trace events")
+    if open_loop:
+        stats = cluster.admission_stats()
+        print(f"admission ({args.admission}): {stats['offered']} offered, "
+              f"{stats['admitted']} admitted, {stats['shed']} shed, "
+              f"{stats['dropped']} dropped, "
+              f"{stats['backpressured']} backpressured, "
+              f"peak queue {stats['peak_queue_depth']}")
     if args.trace:
         for entry in injector.trace:
             print(f"  {entry}")
@@ -262,6 +315,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def _traced_microbenchmark(system: str, args: argparse.Namespace):
     """Run one system's microbenchmark with a live tracer; returns the tracer."""
     from repro.config import ClusterConfig
+    from repro.core.traffic import ClientProfile
     from repro.obs import TraceRecorder
     from repro.workloads.microbenchmark import Microbenchmark
 
@@ -291,7 +345,7 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
         )
         cluster = BaselineCluster(config, workload=workload, tracer=tracer)
     cluster.load_workload_data()
-    cluster.add_clients(4, max_txns=20)
+    cluster.add_clients(ClientProfile(per_partition=4, max_txns=20))
     cluster.run(duration=args.duration)
     cluster.quiesce()
     return tracer
@@ -333,11 +387,43 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_saturation(args: argparse.Namespace) -> int:
+    from repro.bench import saturation
+
+    print(f"sweeping offered load ({args.scale} scale, seed {args.seed}, "
+          f"policy {args.policy}, {args.arrival} arrivals)...",
+          file=sys.stderr)
+    result = saturation.run(
+        scale=args.scale,
+        seed=args.seed,
+        policy=args.policy,
+        arrival=args.arrival,
+        partitions=args.partitions,
+    )
+    print(result)
+    if args.chart:
+        from repro.bench.charts import ascii_chart
+        from repro.errors import ConfigError
+
+        print()
+        try:
+            print(ascii_chart(result))
+        except ConfigError as exc:
+            print(f"(not chartable: {exc})")
+    if args.json:
+        print(f"wrote {save_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote {save_csv(result, args.csv)}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     import json
 
     from repro.bench import perf
 
+    if args.bench_command == "saturation":
+        return cmd_bench_saturation(args)
     if args.bench_command != "perf":
         parser.parse_args(["bench", "--help"])
         return 2

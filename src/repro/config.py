@@ -109,6 +109,21 @@ class ClusterConfig:
     # Relative error applied to the sequencer's disk-latency estimate;
     # 0.0 = perfect estimation (Section 4 sensitivity knob).
     disk_estimate_error: float = 0.0
+    # Admission control in front of each input sequencer (open-loop
+    # traffic): "none" disables it entirely (bit-for-bit identical to
+    # the pre-admission behaviour); the other policies bound intake with
+    # a queue of `admission_queue_capacity` drained at
+    # `admission_epoch_budget` transactions per epoch and differ only in
+    # what happens to a request that arrives while the queue is full:
+    #   "queue"        — tail-drop silently (the client never hears back),
+    #   "shed"         — reject immediately (TxnStatus.REJECTED reply),
+    #   "backpressure" — reject with a deterministic retry-after hint.
+    admission_policy: str = "none"
+    admission_queue_capacity: int = 512
+    # Max transactions admitted into each sequencing epoch per node;
+    # required (>0) whenever admission_policy != "none". Capacity per
+    # node is admission_epoch_budget / epoch_duration txns/sec.
+    admission_epoch_budget: Optional[int] = None
     # Checkpointing mode: "none", "naive" (stop-the-world) or "zigzag".
     checkpoint_mode: str = "none"
     # Named fault profile (see repro.faults.profiles.FAULT_PROFILES) the
@@ -135,6 +150,17 @@ class ClusterConfig:
             raise ConfigError("multi-replica clusters need replication_mode async|paxos")
         if self.replication_mode == "paxos" and self.num_replicas < 2:
             raise ConfigError("paxos replication needs at least 2 replicas")
+        if self.admission_policy not in ("none", "queue", "shed", "backpressure"):
+            raise ConfigError(
+                f"unknown admission policy: {self.admission_policy!r}"
+            )
+        if self.admission_policy != "none":
+            if self.admission_epoch_budget is None or self.admission_epoch_budget < 1:
+                raise ConfigError(
+                    "admission_policy needs admission_epoch_budget >= 1"
+                )
+            if self.admission_queue_capacity < 1:
+                raise ConfigError("admission_queue_capacity must be >= 1")
         if self.checkpoint_mode not in ("none", "naive", "zigzag"):
             raise ConfigError(f"unknown checkpoint mode: {self.checkpoint_mode!r}")
         if not 0.0 <= self.disk_estimate_error <= 1.0:

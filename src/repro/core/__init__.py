@@ -1,6 +1,6 @@
-"""Calvin core: node/cluster assembly, clients, metrics, checkers, facade."""
+"""Calvin core: node/cluster assembly, clients, traffic, metrics, checkers, facade."""
 
-from repro.core.api import CalvinDB
+from repro.core.api import CalvinDB, TxnHandle
 from repro.core.checkers import (
     check_conflict_order,
     check_epoch_contiguity,
@@ -15,14 +15,19 @@ from repro.core.clients import ClosedLoopClient
 from repro.core.cluster import CalvinCluster
 from repro.core.metrics import Metrics, RunReport
 from repro.core.node import CalvinNode
+from repro.core.traffic import AdmissionController, ClientProfile, OpenLoopClient
 
 __all__ = [
+    "AdmissionController",
     "CalvinCluster",
     "CalvinDB",
     "CalvinNode",
+    "ClientProfile",
     "ClosedLoopClient",
     "Metrics",
+    "OpenLoopClient",
     "RunReport",
+    "TxnHandle",
     "check_conflict_order",
     "check_epoch_contiguity",
     "check_no_double_apply",

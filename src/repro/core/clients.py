@@ -54,6 +54,8 @@ class ClosedLoopClient:
         self.stale_replies = 0
         self.submitted = 0
         self.completed = 0
+        self.rejected = 0
+        self._pending_resubmits = 0
         cluster.network.register(self.address, self._on_message)
 
     def start(self) -> None:
@@ -62,7 +64,11 @@ class ClosedLoopClient:
     @property
     def idle(self) -> bool:
         """True when nothing is outstanding and no resubmission is due."""
-        return self._inflight is None and self.finished
+        return (
+            self._inflight is None
+            and self._pending_resubmits == 0
+            and self.finished
+        )
 
     @property
     def finished(self) -> bool:
@@ -105,6 +111,10 @@ class ClosedLoopClient:
         message = ClientSubmit(txn)
         cluster.network.send(self.address, self._target, message, message.size_estimate())
 
+    def _resubmit_rejected(self, spec: TxnSpec) -> None:
+        self._pending_resubmits -= 1
+        self._submit(spec)
+
     # -- replies --------------------------------------------------------------
 
     def _on_message(self, src: Any, message: Any) -> None:
@@ -117,6 +127,20 @@ class ClosedLoopClient:
             return
         cluster = self.cluster
         now = cluster.sim.now
+        if result.status is TxnStatus.REJECTED:
+            # Admission control refused the request before sequencing.
+            # Resubmit the same spec (fresh txn id — the sequencer's
+            # dedupe set already saw the old one) after the retry-after
+            # hint, or after one epoch for a plain shed, so a throttled
+            # closed-loop client stays live without spinning.
+            self.rejected += 1
+            spec = self._inflight
+            self._inflight = None
+            self._inflight_txn_id = None
+            delay = result.retry_after or cluster.config.epoch_duration
+            self._pending_resubmits += 1
+            cluster.sim.schedule(delay, self._resubmit_rejected, spec)
+            return
         if now >= cluster.metrics.window_start:
             cluster.metrics.record_latency(result.latency)
         spec = self._inflight

@@ -8,10 +8,12 @@ examples usually go through the friendlier :class:`repro.core.api.CalvinDB`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+import warnings
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.config import ClusterConfig
 from repro.core.clients import ClosedLoopClient
+from repro.core.traffic import ClientProfile, OpenLoopClient
 from repro.core.metrics import Metrics, RunReport
 from repro.core.node import CalvinNode
 from repro.errors import ConfigError, RecoveryError
@@ -36,6 +38,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # (seq, txn, status) per terminal execution, in arbitrary append order;
 # sort by seq to obtain the agreed serial history.
 HistoryEntry = Tuple[GlobalSeq, Transaction, TxnStatus]
+
+AnyClient = Union[ClosedLoopClient, OpenLoopClient]
+
+# The old add_clients(n, **kwargs) form warns once per process.
+_warned_legacy_add_clients = False
+
+
+def _warn_legacy_add_clients() -> None:
+    global _warned_legacy_add_clients
+    if _warned_legacy_add_clients:
+        return
+    _warned_legacy_add_clients = True
+    warnings.warn(
+        "add_clients(per_partition, **kwargs) is deprecated; pass a "
+        "repro.ClientProfile instead: add_clients(ClientProfile(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class CalvinCluster:
@@ -112,8 +132,10 @@ class CalvinCluster:
             participant = getattr(node.sequencer.replication, "participant", None)
             if participant is not None:
                 participant.register_metrics(self.metrics_registry, f"{prefix}.paxos")
+            if node.sequencer.admission is not None:
+                node.sequencer.admission.register_metrics(self.metrics_registry, prefix)
 
-        self.clients: List[ClosedLoopClient] = []
+        self.clients: List[AnyClient] = []
         self.checkpoints: Dict[int, CheckpointSnapshot] = {}
         self._txn_counter = 0
         self._started = False
@@ -212,20 +234,54 @@ class CalvinCluster:
 
     def add_clients(
         self,
-        per_partition: int,
+        profile: Union[ClientProfile, int, None] = None,
         workload: Optional[Workload] = None,
         think_time: float = 0.0,
         max_txns: Optional[int] = None,
-    ) -> List[ClosedLoopClient]:
-        workload = workload or self.workload
+        *,
+        per_partition: Optional[int] = None,
+    ) -> List[AnyClient]:
+        """Create one client population described by a :class:`ClientProfile`.
+
+        The legacy ``add_clients(n, workload=..., think_time=...,
+        max_txns=...)`` form still works through a deprecation shim that
+        maps the old kwargs onto a closed-loop profile (and warns once
+        per process).
+        """
+        if not isinstance(profile, ClientProfile):
+            # Deprecation shim: the old kwargs-soup form.
+            _warn_legacy_add_clients()
+            count = per_partition if per_partition is not None else profile
+            if not isinstance(count, int):
+                raise ConfigError(
+                    "add_clients needs a ClientProfile or a per-partition count"
+                )
+            profile = ClientProfile(
+                per_partition=count,
+                workload=workload,
+                think_time=think_time,
+                max_txns=max_txns,
+            )
+        profile.validate()
+        workload = profile.workload or self.workload
         if workload is None:
             raise ConfigError("no workload for clients")
-        created = []
+        created: List[AnyClient] = []
         for partition in range(self.config.num_partitions):
-            for _ in range(per_partition):
-                client = ClosedLoopClient(
-                    self, partition, len(self.clients), workload, think_time, max_txns
-                )
+            for _ in range(profile.per_partition):
+                index = len(self.clients)
+                client: AnyClient
+                if profile.mode == "open":
+                    client = OpenLoopClient(self, partition, index, profile, workload)
+                else:
+                    client = ClosedLoopClient(
+                        self,
+                        partition,
+                        index,
+                        workload,
+                        profile.think_time,
+                        profile.max_txns,
+                    )
                 self.clients.append(client)
                 created.append(client)
         return created
@@ -246,6 +302,10 @@ class CalvinCluster:
                 node.scheduler.outstanding == 0
                 and node.scheduler.admission_backlog == 0
                 and not node.sequencer._buffer
+                and (
+                    node.sequencer.admission is None
+                    or node.sequencer.admission.queue_depth == 0
+                )
                 and not any(
                     batch.txns
                     for per_epoch in node.scheduler._arrived.values()
@@ -394,6 +454,38 @@ class CalvinCluster:
         the "multiple consistency levels" the abstract mentions)."""
         partition = self.catalog.partition_of(key)
         return self.node(replica, partition).store.get(key)
+
+    def admission_stats(self) -> Dict[str, int]:
+        """Aggregate admission-controller tallies across input nodes.
+
+        All zeros when no admission policy is configured (there are no
+        controllers to sum over).
+        """
+        totals = {
+            "offered": 0,
+            "admitted": 0,
+            "queued": 0,
+            "shed": 0,
+            "dropped": 0,
+            "backpressured": 0,
+            "queue_depth": 0,
+            "peak_queue_depth": 0,
+        }
+        for node in self.nodes.values():
+            admission = node.sequencer.admission
+            if admission is None:
+                continue
+            totals["offered"] += admission.offered
+            totals["admitted"] += admission.admitted
+            totals["queued"] += admission.queued
+            totals["shed"] += admission.shed
+            totals["dropped"] += admission.dropped
+            totals["backpressured"] += admission.backpressured
+            totals["queue_depth"] += admission.queue_depth
+            totals["peak_queue_depth"] = max(
+                totals["peak_queue_depth"], admission.peak_queue_depth
+            )
+        return totals
 
     def node_stats(self) -> Dict[NodeId, Dict[str, float]]:
         """Per-node health numbers for debugging and tests."""

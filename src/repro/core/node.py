@@ -22,6 +22,7 @@ from repro.net.messages import (
 from repro.obs import CAT_NODE, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.paxos.messages import Accept, Accepted, Learn, Nack, Prepare, Promise
+from repro.core.traffic import AdmissionController
 from repro.scheduler.scheduler import Scheduler
 from repro.sequencer.replication import (
     AsyncReplication,
@@ -116,6 +117,10 @@ class CalvinNode:
             replication=self._make_replication(),
             tracer=tracer,
         )
+        if config.admission_policy != "none" and self.sequencer.accepts_input:
+            self.sequencer.admission = AdmissionController(
+                sim, node_id, config, self.sequencer, self.send
+            )
         network.register(self.address, self.handle_message)
         self._checkpointing = False
 

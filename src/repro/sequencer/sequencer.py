@@ -60,6 +60,11 @@ class Sequencer:
         # rest of the node.
         self._owner = node_address(node_id)
 
+        # Admission control (open-loop traffic): installed by the node
+        # when the config enables a policy; None = admit everything
+        # immediately (bit-for-bit the pre-admission behaviour).
+        self.admission = None
+
         self._buffer: List[Transaction] = []
         self._epoch = 0
         self._dispatched_epochs = set()
@@ -92,21 +97,34 @@ class Sequencer:
     # -- input ---------------------------------------------------------------
 
     def submit(self, txn: Transaction) -> None:
-        """Accept a client transaction request into the current epoch.
+        """Take a client transaction request at the sequencer front-end.
+
+        Deduplicates (a lossy network may duplicate ClientSubmit
+        messages; sequencing the same request twice would double-apply
+        it), then routes through admission control when a policy is
+        configured — the controller either calls :meth:`accept` now, at
+        a later epoch tick (queued), or rejects the request back to the
+        client. Without admission control every request is accepted
+        immediately.
+        """
+        if not self.accepts_input:
+            raise RuntimeError("client input submitted to a non-input replica")
+        if txn.txn_id in self._seen_txn_ids:
+            return
+        self._seen_txn_ids.add(txn.txn_id)
+        if self.admission is not None:
+            self.admission.offer(txn)
+        else:
+            self.accept(txn)
+
+    def accept(self, txn: Transaction) -> None:
+        """Admit a transaction into the current epoch.
 
         Disk-bound transactions (Section 4) are deferred: prefetch
         requests go out immediately to every participant, and the
         transaction joins whatever epoch is current once the estimated
         fetch latency has elapsed.
         """
-        if not self.accepts_input:
-            raise RuntimeError("client input submitted to a non-input replica")
-        if txn.txn_id in self._seen_txn_ids:
-            # A lossy network may duplicate ClientSubmit messages (or a
-            # client may retransmit); sequencing the same request twice
-            # would double-apply it, so admission is idempotent per txn id.
-            return
-        self._seen_txn_ids.add(txn.txn_id)
         if self._tracing:
             # Arrival at the sequencer opens the sequence (epoch-wait)
             # span; a disk deferral re-stamps it on re-admission.
@@ -194,6 +212,10 @@ class Sequencer:
             )
         else:
             self.replication.publish(epoch, batch)
+        if self.admission is not None:
+            # New epoch: refill the admission budget and drain queued
+            # intake into the (now empty) buffer.
+            self.admission.on_epoch_tick()
         self.sim.schedule_owned(self._owner, self.config.epoch_duration, self._epoch_tick)
 
     # -- dispatch (called by the replication strategy once a batch is

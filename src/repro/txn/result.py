@@ -18,6 +18,11 @@ class TxnStatus(enum.Enum):
     # OLLP footprint recheck failed; the client should reconnoiter again
     # and resubmit. Also used by the 2PC baseline for wait-die deaths.
     RESTART = "restart"
+    # Refused by admission control before sequencing (overload). The
+    # transaction never entered the agreed history; under the
+    # "backpressure" policy the result's ``value`` carries a
+    # deterministic retry-after hint in virtual seconds.
+    REJECTED = "rejected"
 
 
 @dataclass(frozen=True)
@@ -52,3 +57,16 @@ class TransactionResult:
     @property
     def committed(self) -> bool:
         return self.status is TxnStatus.COMMITTED
+
+    @property
+    def rejected(self) -> bool:
+        """True when admission control refused the request (overload)."""
+        return self.status is TxnStatus.REJECTED
+
+    @property
+    def retry_after(self) -> float:
+        """Backpressure hint: resubmit after this many virtual seconds
+        (0.0 unless this is a backpressure rejection)."""
+        if self.status is TxnStatus.REJECTED and isinstance(self.value, float):
+            return self.value
+        return 0.0

@@ -64,6 +64,75 @@ class TestBasicExecution:
             bank_db.execute("nope", None, read_set=[("acct", 0, 0)])
 
 
+class TestAsyncSurface:
+    def test_submit_returns_pending_handle(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        handle = bank_db.submit("transfer", (keys[0], keys[1], 10),
+                                read_set=keys, write_set=keys)
+        assert not handle.done
+        assert handle.txn_id > 0
+
+    def test_result_drives_time_and_completes(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        before = bank_db.now
+        handle = bank_db.submit("transfer", (keys[0], keys[1], 10),
+                                read_set=keys, write_set=keys)
+        assert bank_db.now == before  # submit does not advance time
+        result = handle.result()
+        assert bank_db.now > before
+        assert result.committed
+        assert handle.done
+
+    def test_result_idempotent(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        handle = bank_db.submit("transfer", (keys[0], keys[1], 10),
+                                read_set=keys, write_set=keys)
+        assert handle.result() is handle.result()
+
+    def test_gather_pipelines_one_epoch(self, bank_db):
+        # Disjoint key pairs: four independent transactions.
+        pairs = [
+            (("acct", 0, 0), ("acct", 0, 1)),
+            (("acct", 1, 0), ("acct", 1, 1)),
+        ]
+        before = bank_db.now
+        handles = [
+            bank_db.submit("transfer", (src, dst, 5),
+                           read_set=[src, dst], write_set=[src, dst])
+            for src, dst in pairs
+        ]
+        results = bank_db.gather(handles)
+        assert all(r.committed for r in results)
+        # Both shared the same sequencing epoch: well under 2 epochs of
+        # virtual time for the whole batch.
+        assert bank_db.now - before < 0.05
+
+    def test_execute_many_matches_submit_gather(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        results = bank_db.execute_many(
+            [("transfer", (keys[0], keys[1], 10), keys, keys)] * 3
+        )
+        assert [r.committed for r in results] == [True, True, True]
+        assert bank_db.get(("acct", 0, 0)) == 70
+
+    def test_submit_rejects_empty_footprint(self, bank_db):
+        with pytest.raises(ConfigError):
+            bank_db.submit("transfer", None)
+
+    def test_submit_rejects_dependent_procedures(self):
+        db = TestDependentExecution().make_db()
+        with pytest.raises(ConfigError):
+            db.submit("chase", read_set=["pointer"], write_set=[])
+
+    def test_handle_repr_shows_state(self, bank_db):
+        keys = [("acct", 0, 0), ("acct", 0, 1)]
+        handle = bank_db.submit("transfer", (keys[0], keys[1], 1),
+                                read_set=keys, write_set=keys)
+        assert "pending" in repr(handle)
+        handle.result()
+        assert "done" in repr(handle)
+
+
 class TestProcedureDecorator:
     def test_define_and_run(self):
         db = CalvinDB(num_partitions=1)

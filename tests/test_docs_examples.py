@@ -1,0 +1,38 @@
+"""The documentation's code is part of the test surface.
+
+Runs (a) the doctests embedded in ``repro.core.api``'s module docstring
+(the facade's sync + async examples) and (b) every ``python`` fenced
+block in README.md, so a drifted example fails CI instead of a reader.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.core.api
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def readme_blocks():
+    blocks = _PYTHON_BLOCK.findall(README.read_text())
+    assert blocks, "README.md lost its python examples"
+    return blocks
+
+
+def test_api_docstring_examples():
+    results = doctest.testmod(repro.core.api, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize(
+    "block", readme_blocks(), ids=lambda b: b.strip().splitlines()[0][:40]
+)
+def test_readme_python_examples(block):
+    # Each block is a self-contained, self-asserting program.
+    exec(compile(block, str(README), "exec"), {"__name__": "__readme__"})
