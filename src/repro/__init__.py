@@ -43,10 +43,15 @@ Public surface (everything in ``__all__``; anything else is internal):
   :func:`random_plan`.
 - **Observability** — :class:`MetricsRegistry`, :class:`TraceRecorder`,
   :func:`trace_digest`.
+- **Determinism analysis** — :func:`lint_paths` (the ``repro lint``
+  entry point), :class:`DeterminismSanitizer` (runtime trip wires,
+  also reachable as ``ClusterConfig(sanitize=True)``), and
+  :class:`DeterminismViolation`.
 - **Checkers** — the ``check_*`` correctness oracles.
 - **Errors** — :class:`ReproError` and friends.
 """
 
+from repro.analysis import DeterminismSanitizer, lint_paths
 from repro.config import BaselineConfig, ClusterConfig, CostModel, DEFAULT_CONFIG
 from repro.core import (
     CalvinCluster,
@@ -63,6 +68,14 @@ from repro.core import (
     check_replica_prefix_consistency,
     check_serializability,
 )
+from repro.errors import (
+    ConfigError,
+    ConsistencyError,
+    DeterminismViolation,
+    FootprintViolation,
+    ReproError,
+    TransactionAborted,
+)
 from repro.faults import (
     FAULT_PROFILES,
     FaultEvent,
@@ -70,13 +83,6 @@ from repro.faults import (
     FaultPlan,
     build_profile,
     random_plan,
-)
-from repro.errors import (
-    ConfigError,
-    ConsistencyError,
-    FootprintViolation,
-    ReproError,
-    TransactionAborted,
 )
 from repro.obs import MetricsRegistry, TraceRecorder, trace_digest
 from repro.txn import (
@@ -108,6 +114,8 @@ __all__ = [
     "ConsistencyError",
     "CostModel",
     "DEFAULT_CONFIG",
+    "DeterminismSanitizer",
+    "DeterminismViolation",
     "FAULT_PROFILES",
     "FaultEvent",
     "FaultInjector",
@@ -140,6 +148,7 @@ __all__ = [
     "check_replica_consistency",
     "check_replica_prefix_consistency",
     "check_serializability",
+    "lint_paths",
     "random_plan",
     "trace_digest",
 ]

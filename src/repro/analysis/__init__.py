@@ -1,0 +1,54 @@
+"""Determinism static analysis: ``repro lint``, sanitizer, bisector.
+
+Three layers of machine-checked determinism discipline (the invariant
+every other subsystem in this reproduction stakes its tests on):
+
+- :mod:`repro.analysis.rules` + :mod:`repro.analysis.linter` — the
+  DET001–DET006 AST rules behind ``repro lint``, with inline
+  ``# det: allow[...]`` waivers and a committed baseline file.
+- :mod:`repro.analysis.sanitizer` — a runtime context manager that
+  turns ambient randomness / wall-clock / entropy calls into
+  :class:`~repro.errors.DeterminismViolation` for the duration of a
+  simulated run (config flag ``sanitize=True`` or CLI ``--sanitize``).
+- :mod:`repro.analysis.bisect` — per-epoch span-digest comparison of
+  two same-seed runs that reports the first divergent epoch and span.
+
+See ``docs/static_analysis.md`` for the rule catalogue and workflow.
+"""
+
+from repro.analysis.bisect import (
+    DivergenceReport,
+    bisect_runs,
+    diverge,
+    epoch_digests,
+    span_epoch,
+)
+from repro.analysis.linter import (
+    DEFAULT_BASELINE,
+    LintReport,
+    lint_paths,
+    lint_sources,
+    parse_waivers,
+    write_baseline,
+)
+from repro.analysis.rules import Finding, RULES, scan_source
+from repro.analysis.sanitizer import DeterminismSanitizer, sanitizer_active
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DeterminismSanitizer",
+    "DivergenceReport",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "bisect_runs",
+    "diverge",
+    "epoch_digests",
+    "lint_paths",
+    "lint_sources",
+    "parse_waivers",
+    "sanitizer_active",
+    "scan_source",
+    "span_epoch",
+    "write_baseline",
+]

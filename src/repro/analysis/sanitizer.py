@@ -1,0 +1,138 @@
+"""Runtime determinism sanitizer: trap ambient nondeterminism in a run.
+
+The AST linter (:mod:`repro.analysis.rules`) catches what it can see;
+this module catches what it cannot — a dependency, an exec'd snippet,
+or a dynamically dispatched call reaching for the process-global RNG or
+the wall clock *while a simulated run is in flight*. Inside the context
+manager, the module-level entry points of ``random``, the wall-clock
+reads of ``time``, ``uuid.uuid1/uuid4`` and ``os.urandom`` are replaced
+with trip wires that raise :class:`~repro.errors.DeterminismViolation`
+naming the call site's offence.
+
+What stays usable, deliberately:
+
+- ``random.Random`` *instances* (every seeded stream from
+  :class:`repro.sim.rng.RngStreams`, the txn-id RNG) — instance methods
+  do not go through the patched module functions.
+- ``time.perf_counter`` — the sanctioned wall-clock of the perf
+  harness, which measures the simulator from outside.
+- ``hashlib``/``hash`` — deterministic for bytes inputs.
+
+``datetime.datetime.now`` cannot be patched (attribute of a C type);
+the DET002 lint rule covers it statically.
+
+Activation is reference-counted, so nesting (the cluster's quiesce loop
+re-entering ``Simulator.run`` per step, or a sanitized CLI command over
+a ``sanitize=True`` config) is safe, and the original functions are
+restored when the outermost context exits — even on error.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import DeterminismViolation
+
+#: ``(module, attribute)`` pairs replaced while the sanitizer is active.
+_PATCHED_SITES: List[Tuple[Any, str, str]] = (
+    [
+        (random, name,
+         "module-level random.{0}() shares process-global state; draw from "
+         "a named RngStreams stream (repro.sim.rng) instead")
+        for name in (
+            "random", "randint", "randrange", "uniform", "choice", "choices",
+            "shuffle", "sample", "seed", "getrandbits", "gauss",
+            "normalvariate", "lognormvariate", "expovariate", "betavariate",
+            "gammavariate", "paretovariate", "weibullvariate",
+            "vonmisesvariate", "triangular",
+        )
+        if hasattr(random, name)
+    ]
+    + [
+        (time, name,
+         "wall-clock read time.{0}() during a simulated run; use the "
+         "kernel's virtual sim.now")
+        for name in ("time", "monotonic", "time_ns", "monotonic_ns")
+        if hasattr(time, name)
+    ]
+    + [
+        (uuid, name,
+         "uuid.{0}() draws host entropy; derive identifiers from the seed "
+         "or a txn counter")
+        for name in ("uuid1", "uuid4")
+    ]
+    + [
+        (os, "urandom",
+         "os.urandom() is raw entropy; determinism requires seeded streams"),
+    ]
+)
+
+# Reference count + saved originals (module-global: the patches are).
+_depth = 0
+_saved: Dict[Tuple[int, str], Callable] = {}
+
+
+def _trip_wire(qualname: str, template: str) -> Callable:
+    message = template.format(qualname.split(".")[-1])
+
+    def tripped(*_args: Any, **_kwargs: Any) -> Any:
+        raise DeterminismViolation(f"{qualname}: {message}")
+
+    tripped.__name__ = qualname.split(".")[-1]
+    tripped.__qualname__ = f"sanitized:{qualname}"
+    return tripped
+
+
+def _activate() -> None:
+    global _depth
+    _depth += 1
+    if _depth > 1:
+        return
+    for module, attr, template in _PATCHED_SITES:
+        key = (id(module), attr)
+        _saved[key] = getattr(module, attr)
+        setattr(module, attr, _trip_wire(f"{module.__name__}.{attr}", template))
+
+
+def _deactivate() -> None:
+    global _depth
+    if _depth == 0:
+        return
+    _depth -= 1
+    if _depth > 0:
+        return
+    for module, attr, _template in _PATCHED_SITES:
+        setattr(module, attr, _saved.pop((id(module), attr)))
+
+
+def sanitizer_active() -> bool:
+    """True while at least one :class:`DeterminismSanitizer` is entered."""
+    return _depth > 0
+
+
+class DeterminismSanitizer:
+    """Context manager arming the nondeterminism trip wires.
+
+    Used three ways (all equivalent): the ``sanitize=True`` field of
+    :class:`repro.ClusterConfig` (arms it around every
+    ``Simulator.run``), the ``--sanitize`` flag of the ``run`` /
+    ``chaos`` / ``trace`` / ``bench`` CLI commands (arms it around the
+    whole command), or directly::
+
+        with DeterminismSanitizer():
+            cluster.run(duration=1.0)
+
+    Reentrant: contexts may nest freely; the patches are installed by
+    the first entry and removed by the matching last exit.
+    """
+
+    def __enter__(self) -> "DeterminismSanitizer":
+        _activate()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        _deactivate()

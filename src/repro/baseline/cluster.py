@@ -9,8 +9,8 @@ from typing import Any, Dict, List, Optional, Union
 from repro.baseline.node import BaselineNode
 from repro.config import BaselineConfig, ClusterConfig
 from repro.core.clients import ClosedLoopClient
-from repro.core.traffic import ClientProfile
 from repro.core.metrics import Metrics, RunReport
+from repro.core.traffic import ClientProfile
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
 from repro.partition.catalog import Catalog
@@ -55,7 +55,7 @@ class BaselineCluster:
         self.registry = registry
         self.catalog = Catalog(config, partitioner)
 
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=config.sanitize)
         self.rngs = RngStreams(config.seed)
         self.network = Network(
             self.sim, lan_topology(config.lan_latency, config.lan_bandwidth)

@@ -13,7 +13,7 @@ every transaction carries one timestamp to all partitions.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List
 
 from repro.errors import SchedulerError
 from repro.partition.partitioner import Key

@@ -20,7 +20,7 @@ with a fresh (younger) timestamp after a backoff.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING, Tuple
 
 from repro.baseline.locks import DIED, TwoPhaseLockTable
 from repro.baseline.log import GroupCommitLog

@@ -12,10 +12,10 @@ The numbers are *simulated* throughput (virtual-time transactions per
 second); see EXPERIMENTS.md for the paper-vs-measured comparison.
 """
 
-from repro.bench.reporting import ExperimentResult, format_table
 from repro.bench.charts import ascii_chart
 from repro.bench.compare import Comparison, compare_files, compare_results
 from repro.bench.io import load_json, save_csv, save_json
+from repro.bench.reporting import ExperimentResult, format_table
 
 __all__ = [
     "Comparison",

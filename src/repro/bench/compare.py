@@ -9,7 +9,7 @@ figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.bench.io import load_json
 from repro.bench.reporting import ExperimentResult

@@ -28,6 +28,19 @@ Commands:
 - ``bench saturation [--scale S] [--seed N] [--policy P] [--arrival A]
   [--partitions K]`` — sweep open-loop offered load across the
   admission knee and print the throughput-vs-latency curve.
+- ``lint [paths...] [--format text|json] [--baseline F]
+  [--write-baseline] [--rules LIST] [--show-waived]`` — determinism
+  static analysis (DET001–DET006) over Python sources; exit 1 on any
+  unwaived, unbaselined finding. See docs/static_analysis.md.
+- ``bisect [run flags] [--runs K] [--json]`` — run the microbenchmark
+  K times at the same seed, compare per-epoch span digests, and report
+  the first divergent epoch and span (the determinism debugger for a
+  golden-digest mismatch).
+
+``run``, ``chaos``, ``trace`` and ``bench`` additionally accept
+``--sanitize``: arm the runtime determinism sanitizer for the duration
+of the command, so any ambient randomness / wall-clock / entropy call
+raises ``DeterminismViolation`` instead of silently diverging replicas.
 """
 
 from __future__ import annotations
@@ -72,6 +85,15 @@ def _add_run_flags(
     parser.add_argument("--replicas", type=int, default=replicas,
                         help="replica count (paxos replication when > 1)")
     parser.add_argument("--partitions", type=int, default=partitions)
+    _add_sanitize_flag(parser)
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime determinism sanitizer: ambient randomness, "
+             "wall-clock and entropy calls raise DeterminismViolation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--chart", action="store_true", help="render the table as ASCII bars"
     )
+    _add_sanitize_flag(run)
 
     sub.add_parser("demo", help="run a small guided demo")
 
@@ -159,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--threshold", type=float, default=None,
                       help="normalised events/sec drop flagged as regression "
                            "(default 0.30)")
+    _add_sanitize_flag(perf)
     saturation = bench_sub.add_parser(
         "saturation",
         help="sweep open-loop offered load across the admission knee",
@@ -177,6 +201,50 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the curve as CSV")
     saturation.add_argument("--chart", action="store_true",
                             help="render the curve as ASCII bars")
+    _add_sanitize_flag(saturation)
+
+    lint = sub.add_parser(
+        "lint", help="determinism static analysis (DET rules) over sources"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to scan (default src/repro)",
+    )
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="grandfathered-findings JSON (default DETERMINISM_BASELINE.json "
+             "when present)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current active findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--rules", metavar="LIST", default=None,
+        help="comma-separated rule subset, e.g. DET001,DET003",
+    )
+    lint.add_argument(
+        "--show-waived", action="store_true",
+        help="also print waived and baselined findings",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+    bisect = sub.add_parser(
+        "bisect",
+        help="run the same seed twice and locate the first divergent epoch",
+    )
+    _add_run_flags(bisect, duration=0.3, replicas=1)
+    bisect.add_argument("--profile", default=None,
+                        choices=sorted(FAULT_PROFILES),
+                        help="also inject a fault profile")
+    bisect.add_argument("--runs", type=int, default=2,
+                        help="number of same-seed runs to compare (default 2)")
+    bisect.add_argument("--json", action="store_true",
+                        help="emit the divergence report as JSON")
     return parser
 
 
@@ -258,6 +326,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fault_horizon=args.duration * 0.85,
         admission_policy=args.admission if open_loop else "none",
         admission_epoch_budget=20 if open_loop else None,
+        sanitize=args.sanitize,
     )
     cluster = CalvinCluster(
         config,
@@ -333,6 +402,7 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
             seed=args.seed,
             fault_profile=args.profile,
             fault_horizon=args.duration * 0.85,
+            sanitize=args.sanitize,
         )
         cluster = CalvinCluster(config, workload=workload, tracer=tracer)
     else:
@@ -341,7 +411,8 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
         # The baseline models a single replica; fault profiles are a
         # Calvin-cluster feature, so they apply to the calvin run only.
         config = ClusterConfig(
-            num_partitions=args.partitions, num_replicas=1, seed=args.seed
+            num_partitions=args.partitions, num_replicas=1, seed=args.seed,
+            sanitize=args.sanitize,
         )
         cluster = BaselineCluster(config, workload=workload, tracer=tracer)
     cluster.load_workload_data()
@@ -450,27 +521,121 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import RULES, lint_paths, write_baseline
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule in sorted(RULES):
+            print(f"{rule.ljust(width)}  {RULES[rule]}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = {part.strip() for part in args.rules.split(",") if part.strip()}
+    report = lint_paths(args.paths, rules=rules, baseline=args.baseline)
+    if args.write_baseline:
+        path = write_baseline(report, args.baseline or "DETERMINISM_BASELINE.json")
+        print(f"wrote {path} ({len(report.active)} grandfathered finding(s); "
+              "justify or fix each entry)")
+        return 0
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(show_waived=args.show_waived))
+    return 0 if report.ok else 1
+
+
+def cmd_bisect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import bisect_runs
+    from repro.config import ClusterConfig
+    from repro.core.cluster import CalvinCluster
+    from repro.core.traffic import ClientProfile
+    from repro.obs import TraceRecorder
+    from repro.workloads.microbenchmark import Microbenchmark
+
+    config = ClusterConfig(
+        num_partitions=args.partitions,
+        num_replicas=args.replicas,
+        replication_mode="paxos" if args.replicas > 1 else "none",
+        seed=args.seed,
+        fault_profile=args.profile,
+        fault_horizon=args.duration * 0.85,
+        sanitize=args.sanitize,
+    )
+
+    def build_and_run(index: int):
+        if not args.json:
+            print(f"run {index + 1}/{max(2, args.runs)}: seed {args.seed}, "
+                  f"{args.duration}s of virtual time...")
+        tracer = TraceRecorder()
+        cluster = CalvinCluster(
+            config,
+            workload=Microbenchmark(
+                mp_fraction=0.3, hot_set_size=10, cold_set_size=100
+            ),
+            tracer=tracer,
+        )
+        cluster.load_workload_data()
+        cluster.add_clients(ClientProfile(per_partition=4, max_txns=20))
+        cluster.run(duration=args.duration)
+        cluster.quiesce()
+        return list(tracer.spans)
+
+    report = bisect_runs(
+        build_and_run, config.epoch_duration, runs=max(2, args.runs)
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+        if not report.equivalent:
+            print("a same-seed divergence means ambient state leaked into "
+                  "the run — try --sanitize and `repro lint` to find it")
+    return 0 if report.equivalent else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from contextlib import nullcontext
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "experiments":
-        return cmd_experiments()
-    if args.command == "run":
-        return cmd_run(args)
-    if args.command == "demo":
-        return cmd_demo()
-    if args.command == "chaos":
-        return cmd_chaos(args)
-    if args.command == "trace":
-        return cmd_trace(args)
-    if args.command == "bench":
-        return cmd_bench(args, parser)
-    if args.command == "compare":
-        from repro.bench.compare import compare_files
+    if getattr(args, "sanitize", False) and args.command != "bisect":
+        # Arm the trip wires for the whole command: cluster construction,
+        # the simulated run(s), and reporting all happen inside. (bisect
+        # threads the flag through its ClusterConfig instead, so each
+        # compared run arms and disarms around its own kernel loop.)
+        from repro.analysis import DeterminismSanitizer
 
-        comparison = compare_files(args.old, args.new, args.threshold)
-        print(comparison)
-        return 0 if comparison.ok else 1
+        guard = DeterminismSanitizer()
+    else:
+        guard = nullcontext()
+    with guard:
+        if args.command == "experiments":
+            return cmd_experiments()
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "demo":
+            return cmd_demo()
+        if args.command == "chaos":
+            return cmd_chaos(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "bench":
+            return cmd_bench(args, parser)
+        if args.command == "lint":
+            return cmd_lint(args)
+        if args.command == "bisect":
+            return cmd_bisect(args)
+        if args.command == "compare":
+            from repro.bench.compare import compare_files
+
+            comparison = compare_files(args.old, args.new, args.threshold)
+            print(comparison)
+            return 0 if comparison.ok else 1
     parser.print_help()
     return 2
 

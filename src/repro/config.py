@@ -126,6 +126,13 @@ class ClusterConfig:
     admission_epoch_budget: Optional[int] = None
     # Checkpointing mode: "none", "naive" (stop-the-world) or "zigzag".
     checkpoint_mode: str = "none"
+    # Runtime determinism sanitizer: when True, every Simulator.run of
+    # this cluster arms trip wires that raise DeterminismViolation if
+    # simulated code touches the process-global RNG, the wall clock, or
+    # host entropy (see repro.analysis.sanitizer). Zero effect on the
+    # simulation itself — same seed produces bit-identical digests with
+    # the flag on or off.
+    sanitize: bool = False
     # Named fault profile (see repro.faults.profiles.FAULT_PROFILES) the
     # cluster instantiates at construction; None = no fault injection.
     fault_profile: Optional[str] = None

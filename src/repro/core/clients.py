@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Optional, TYPE_CHECKING
 
 from repro.net.messages import ClientSubmit, TxnReply
-from repro.partition.catalog import client_address, node_address, NodeId
+from repro.partition.catalog import NodeId, client_address, node_address
 from repro.txn.ollp import reconnoiter
 from repro.txn.result import TxnStatus
 from repro.txn.transaction import Transaction

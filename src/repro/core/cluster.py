@@ -9,13 +9,13 @@ examples usually go through the friendlier :class:`repro.core.api.CalvinDB`.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union, TYPE_CHECKING
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING, Tuple, Union
 
 from repro.config import ClusterConfig
 from repro.core.clients import ClosedLoopClient
-from repro.core.traffic import ClientProfile, OpenLoopClient
 from repro.core.metrics import Metrics, RunReport
 from repro.core.node import CalvinNode
+from repro.core.traffic import ClientProfile, OpenLoopClient
 from repro.errors import ConfigError, RecoveryError
 from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId
@@ -87,7 +87,7 @@ class CalvinCluster:
         self.registry = registry
         self.catalog = Catalog(config, partitioner)
 
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=config.sanitize)
         self.rngs = RngStreams(config.seed)
         self.network = Network(self.sim, self._build_topology())
         # Observability: a no-op recorder unless the caller wants spans

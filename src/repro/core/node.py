@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.config import ClusterConfig
+from repro.core.traffic import AdmissionController
 from repro.errors import NetworkError, StorageError
 from repro.net.messages import (
     ClientSubmit,
@@ -22,7 +23,6 @@ from repro.net.messages import (
 from repro.obs import CAT_NODE, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.paxos.messages import Accept, Accepted, Learn, Nack, Prepare, Promise
-from repro.core.traffic import AdmissionController
 from repro.scheduler.scheduler import Scheduler
 from repro.sequencer.replication import (
     AsyncReplication,

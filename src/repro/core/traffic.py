@@ -28,11 +28,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Deque, Dict, Optional, TYPE_CHECKING, Tuple
 
 from repro.errors import ConfigError
 from repro.net.messages import ClientSubmit, TxnReply
-from repro.partition.catalog import client_address, node_address, NodeId
+from repro.partition.catalog import NodeId, client_address, node_address
 from repro.txn.ollp import reconnoiter
 from repro.txn.result import TransactionResult, TxnStatus
 from repro.txn.transaction import Transaction

@@ -69,3 +69,15 @@ class RecoveryError(ReproError):
 class ConsistencyError(ReproError):
     """A correctness checker found divergent replicas or a
     non-serializable outcome."""
+
+
+class DeterminismViolation(ReproError):
+    """Nondeterministic ambient state was touched during a sanitized run.
+
+    Raised by the runtime determinism sanitizer
+    (:class:`repro.analysis.DeterminismSanitizer`) when simulated code
+    reaches for the process-global RNG, the wall clock, or host entropy
+    — any of which would make replicas (or same-seed reruns) diverge.
+    The fix is always the same: draw from the cluster's seeded
+    :class:`~repro.sim.rng.RngStreams` and read virtual ``sim.now``.
+    """

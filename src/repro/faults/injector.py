@@ -25,10 +25,10 @@ moment of corruption, not at end-of-run.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.errors import ConfigError
-from repro.faults.plan import CRASH, DISK, LINK, PARTITION, PAUSE, FaultEvent, FaultPlan
+from repro.faults.plan import CRASH, DISK, FaultEvent, FaultPlan, LINK, PARTITION, PAUSE
 from repro.sim.network import DELIVER, DeliveryVerdict
 from repro.storage.disk import DiskFaultMode
 

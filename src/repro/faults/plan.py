@@ -163,8 +163,9 @@ class FaultPlan:
         a, b = tuple(sorted(set(group_a))), tuple(sorted(set(group_b)))
         if not a or not b:
             raise ConfigError("both partition groups must be non-empty")
-        if set(a) & set(b):
-            raise ConfigError(f"partition groups overlap: {set(a) & set(b)}")
+        overlap = sorted(set(a) & set(b))
+        if overlap:
+            raise ConfigError(f"partition groups overlap: {overlap}")
         return self.add(
             FaultEvent(PARTITION, at, until, ("sites", a, b), _params(mode=mode))
         )

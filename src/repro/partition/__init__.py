@@ -6,13 +6,13 @@ sequencer, a scheduler and one storage partition (paper Figure 1). The
 partitioners map record keys to partitions.
 """
 
+from repro.partition.catalog import Catalog, NodeId, client_address, node_address
 from repro.partition.partitioner import (
     FuncPartitioner,
     HashPartitioner,
     Partitioner,
     stable_hash,
 )
-from repro.partition.catalog import Catalog, NodeId, client_address, node_address
 
 __all__ = [
     "Catalog",

@@ -16,7 +16,7 @@ cut of the global sequence.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, TYPE_CHECKING, Tuple
 
 from repro.config import ClusterConfig
 from repro.errors import SchedulerError

@@ -11,13 +11,13 @@ issues prefetch requests immediately and defers the transaction by the
 expected fetch latency, so it reaches the scheduler with its data warm.
 """
 
-from repro.sequencer.sequencer import Sequencer
 from repro.sequencer.replication import (
     AsyncReplication,
     NoReplication,
     PaxosReplication,
     ReplicationStrategy,
 )
+from repro.sequencer.sequencer import Sequencer
 
 __all__ = [
     "AsyncReplication",

@@ -15,7 +15,7 @@ Calvin replicates transaction *inputs* before (or while) they execute:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING, Tuple
 
 from repro.net.messages import ReplicaBatch
 from repro.partition.catalog import NodeId, node_address

@@ -10,7 +10,7 @@ sub-batch per origin per epoch, so the sequencer sends a sub-batch to
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, List, TYPE_CHECKING, Tuple
 
 from repro.config import ClusterConfig
 from repro.net.messages import PrefetchRequest, ReplicaBatch, SubBatch

@@ -20,9 +20,9 @@ checkers rely on.
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.kernel import Simulator
+from repro.sim.network import LinkSpec, Network, Topology, lan_topology, wan_topology
 from repro.sim.process import Process
 from repro.sim.resources import Resource
-from repro.sim.network import LinkSpec, Network, Topology, lan_topology, wan_topology
 from repro.sim.rng import RngStreams
 from repro.sim.stats import Counter, LatencySample, ThroughputSeries
 

@@ -45,12 +45,21 @@ HeapEntry = Tuple[float, int, Callable[..., None], tuple, Optional[Hashable]]
 class Simulator:
     """A deterministic discrete-event simulator (virtual time in seconds)."""
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self.now: float = 0.0
         self._heap: List[HeapEntry] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        # Determinism sanitizer: armed around every run()/
+        # run_until_triggered() when requested (ClusterConfig.sanitize).
+        # None in the common case, so the hot loop pays one attribute
+        # check per run() call, not per event.
+        self._sanitizer = None
+        if sanitize:
+            from repro.analysis.sanitizer import DeterminismSanitizer
+
+            self._sanitizer = DeterminismSanitizer()
         # Tally of schedule_at calls whose target time was already in the
         # past and got clamped to "now" — visible in metric snapshots so
         # model bugs that schedule backwards in time do not pass silently.
@@ -186,6 +195,9 @@ class Simulator:
         pop = heapq.heappop
         suspended = self._suspended
         executed = 0
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.__enter__()
         try:
             while heap:
                 entry = heap[0]
@@ -213,6 +225,8 @@ class Simulator:
         finally:
             self.events_executed += executed
             self._running = False
+            if sanitizer is not None:
+                sanitizer.__exit__(None, None, None)
         return self.now
 
     def run_until_triggered(
@@ -232,6 +246,9 @@ class Simulator:
         pop = heapq.heappop
         suspended = self._suspended
         executed = 0
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.__enter__()
         try:
             while not event.triggered or event._callbacks is not None:
                 if not heap:
@@ -255,6 +272,8 @@ class Simulator:
                     )
         finally:
             self.events_executed += executed
+            if sanitizer is not None:
+                sanitizer.__exit__(None, None, None)
         if event.ok:
             return event.value
         raise event.value

@@ -15,15 +15,15 @@ deterministic locking layer above it. This package provides:
   reconstruction helpers.
 """
 
-from repro.storage.kvstore import KVStore
-from repro.storage.engine import StorageEngine
-from repro.storage.disk import SimulatedDisk, WarmCache
-from repro.storage.inputlog import InputLog, LogEntry
 from repro.storage.checkpoint import (
     CheckpointSnapshot,
     NaiveCheckpointer,
     ZigZagCheckpointer,
 )
+from repro.storage.disk import SimulatedDisk, WarmCache
+from repro.storage.engine import StorageEngine
+from repro.storage.inputlog import InputLog, LogEntry
+from repro.storage.kvstore import KVStore
 
 __all__ = [
     "CheckpointSnapshot",

@@ -14,11 +14,11 @@ deterministically at execution time; on mismatch the transaction aborts
 and the client restarts it with the corrected footprint.
 """
 
-from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
-from repro.txn.procedures import Procedure, ProcedureRegistry
 from repro.txn.context import DELETED, TxnContext
-from repro.txn.result import TransactionResult, TxnStatus
 from repro.txn.ollp import Footprint, reconnoiter
+from repro.txn.procedures import Procedure, ProcedureRegistry
+from repro.txn.result import TransactionResult, TxnStatus
+from repro.txn.transaction import GlobalSeq, SequencedTxn, Transaction
 
 __all__ = [
     "DELETED",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Optional, Set, Tuple
+from typing import Any, FrozenSet, Set, Tuple
 
 from repro.errors import ConfigError
 from repro.partition.catalog import Catalog

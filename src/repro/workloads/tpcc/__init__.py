@@ -20,8 +20,8 @@ customer/warehouse ytd fields; scale factors default far below TPC-C's
 constructor arguments.
 """
 
-from repro.workloads.tpcc.workload import TpccWorkload
-from repro.workloads.tpcc.loader import TpccScale, build_initial_data
 from repro.workloads.tpcc import keys
+from repro.workloads.tpcc.loader import TpccScale, build_initial_data
+from repro.workloads.tpcc.workload import TpccWorkload
 
 __all__ = ["TpccScale", "TpccWorkload", "build_initial_data", "keys"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.errors import ConfigError
 from repro.partition.catalog import Catalog

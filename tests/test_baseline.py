@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import BaselineConfig, ClusterConfig, Microbenchmark
+from repro import ClusterConfig, Microbenchmark
 from repro.baseline import BaselineCluster, GroupCommitLog, TwoPhaseLockTable
 from repro.baseline.locks import DIED, GRANTED
 from repro.errors import ConfigError

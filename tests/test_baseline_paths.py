@@ -1,14 +1,14 @@
 """Baseline (2PL+2PC) execution-path tests beyond the lock table."""
 
+import random
+from typing import Dict
+
 import pytest
 
 from repro import BaselineConfig, ClusterConfig, TxnSpec, Workload
 from repro.baseline import BaselineCluster
 from repro.partition.partitioner import FuncPartitioner
 from repro.txn.procedures import Procedure, ProcedureRegistry
-
-import random
-from typing import Dict
 
 
 class TwoKeyWorkload(Workload):
@@ -109,7 +109,6 @@ class TestTwoPhaseCommitPaths:
 class TestDependentRejection:
     def test_baseline_rejects_ollp_transactions(self):
         from repro import ConfigError
-        from repro.baseline.node import BaselineNode
         from repro.txn.transaction import Transaction
 
         cluster = run_baseline(cross=False, partitions=1)

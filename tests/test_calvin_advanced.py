@@ -1,9 +1,6 @@
 """Advanced end-to-end semantics through the full Calvin stack."""
 
-import pytest
-
-from repro import CalvinDB, TxnStatus
-from repro.txn.context import DELETED
+from repro import CalvinDB
 
 
 def make_db(partitions=2):

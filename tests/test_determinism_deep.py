@@ -1,7 +1,5 @@
 """Deep determinism: identical runs are identical at the event level."""
 
-import pytest
-
 from repro import CalvinCluster, ClusterConfig, FaultPlan, Microbenchmark, TpccWorkload
 
 

@@ -1,7 +1,5 @@
 """Integration tests for the disk-based storage path (Section 4)."""
 
-import pytest
-
 from repro import CalvinCluster, ClusterConfig, Microbenchmark, check_serializability
 
 

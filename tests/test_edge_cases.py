@@ -1,7 +1,5 @@
 """Targeted edge cases across layers, added after the main suites."""
 
-import pytest
-
 from repro import CalvinCluster, ClusterConfig, Microbenchmark
 from repro.sim import AnyOf, Simulator, Timeout
 

@@ -1,7 +1,6 @@
 """The shipped examples must keep running (they are self-checking)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

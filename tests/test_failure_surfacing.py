@@ -3,7 +3,6 @@
 import pytest
 
 from repro import CalvinDB, FootprintViolation
-from repro.errors import SimulationError
 
 
 class TestExecutorFailuresSurface:

@@ -8,8 +8,8 @@ from repro.errors import ConfigError
 from repro.obs import (
     CAT_DEVICE,
     CAT_EPOCH,
-    NULL_RECORDER,
     MetricsRegistry,
+    NULL_RECORDER,
     Span,
     SpanKind,
     TraceRecorder,

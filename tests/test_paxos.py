@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import PaxosError
-from repro.sim import Network, Simulator, wan_topology
 from repro.paxos import PaxosParticipant
+from repro.sim import Network, Simulator, wan_topology
 
 
 class PaxosHarness:

@@ -14,6 +14,8 @@ EXPECTED_EXPORTS = [
     "ConsistencyError",
     "CostModel",
     "DEFAULT_CONFIG",
+    "DeterminismSanitizer",
+    "DeterminismViolation",
     "FAULT_PROFILES",
     "FaultEvent",
     "FaultInjector",
@@ -46,6 +48,7 @@ EXPECTED_EXPORTS = [
     "check_replica_consistency",
     "check_replica_prefix_consistency",
     "check_serializability",
+    "lint_paths",
     "random_plan",
     "trace_digest",
 ]

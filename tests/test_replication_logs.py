@@ -1,7 +1,5 @@
 """Replication-strategy behaviour observed through the input logs."""
 
-import pytest
-
 from repro import CalvinCluster, ClusterConfig, Microbenchmark
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro import CalvinCluster, ClusterConfig, Microbenchmark
 from repro.errors import SchedulerError
-from tests.conftest import BankWorkload, run_bounded_cluster
+from tests.conftest import BankWorkload
 
 
 def tiny_cluster(partitions=2, seed=1, **config_kwargs):
@@ -153,12 +153,9 @@ class TestPassiveParticipants:
                 ctx.read(k) or 0 for k in sorted(ctx.txn.read_set, key=repr)
             ))
         )
-        from repro.core.api import CalvinDB  # reuse driver plumbing via cluster
-
         # Submit a read-only txn across both partitions via a bare driver.
         from repro.net.messages import ClientSubmit
         from repro.partition.catalog import NodeId, node_address
-        from repro.sim.events import Event
         from repro.txn.transaction import Transaction
 
         results = []

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.sim import LinkSpec, Network, Simulator, lan_topology, wan_topology
-from repro.sim.network import Topology
 
 
 @pytest.fixture

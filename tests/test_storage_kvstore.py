@@ -1,7 +1,5 @@
 """Unit tests for the key/value store."""
 
-import pytest
-
 from repro.storage import KVStore
 from repro.txn.context import DELETED
 

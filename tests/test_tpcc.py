@@ -290,7 +290,7 @@ class TestByNameTransactions:
         assert procedures == {"payment_by_name", "order_status_by_name"}
 
     def test_full_mix_with_names_serializable(self):
-        from repro import CalvinCluster, ClusterConfig, check_serializability
+        from repro import ClusterConfig, check_serializability
         from tests.conftest import run_bounded_cluster
 
         workload = TpccWorkload(scale=SMALL)

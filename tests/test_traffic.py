@@ -15,7 +15,7 @@ from repro import (
 from repro.baseline.cluster import BaselineCluster
 from repro.core import clients as clients_mod
 from repro.core import cluster as cluster_mod
-from repro.core.traffic import AdmissionController, OpenLoopClient
+from repro.core.traffic import AdmissionController
 from repro.obs import TraceRecorder
 from repro.partition.catalog import NodeId
 from repro.txn.transaction import Transaction

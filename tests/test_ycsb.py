@@ -91,7 +91,7 @@ class TestYcsbWorkload:
         assert {key[1] for key in spec.read_set} == {0}
 
     def test_end_to_end_serializable(self):
-        from repro import CalvinCluster, check_serializability
+        from repro import check_serializability
         from tests.conftest import run_bounded_cluster
 
         workload = YcsbWorkload(
