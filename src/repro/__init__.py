@@ -33,6 +33,10 @@ Public surface (everything in ``__all__``; anything else is internal):
   experiments that wire workloads, clients and faults explicitly.
 - **Traffic** — :class:`ClientProfile` (shared closed/open-loop client
   spec consumed by ``add_clients``, the bench harness and the CLI).
+- **Engines** — :class:`ExecutionEngine`, :func:`get_engine`,
+  :func:`build_cluster` (the seam dispatching ``config.engine`` to the
+  Calvin ``core``, the 2PL+2PC ``baseline``, or the phase-switching
+  ``star`` implementation; see docs/engines.md).
 - **Transactions** — :class:`Transaction`, :class:`TransactionResult`,
   :class:`TxnStatus`, :class:`TxnContext`, :class:`Procedure`,
   :class:`ProcedureRegistry`, :class:`Footprint`.
@@ -68,6 +72,7 @@ from repro.core import (
     check_replica_prefix_consistency,
     check_serializability,
 )
+from repro.engines import ExecutionEngine, build_cluster, get_engine
 from repro.errors import (
     ConfigError,
     ConsistencyError,
@@ -116,6 +121,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DeterminismSanitizer",
     "DeterminismViolation",
+    "ExecutionEngine",
     "FAULT_PROFILES",
     "FaultEvent",
     "FaultInjector",
@@ -140,6 +146,7 @@ __all__ = [
     "TxnStatus",
     "Workload",
     "YcsbWorkload",
+    "build_cluster",
     "build_profile",
     "check_conflict_order",
     "check_epoch_contiguity",
@@ -148,6 +155,7 @@ __all__ = [
     "check_replica_consistency",
     "check_replica_prefix_consistency",
     "check_serializability",
+    "get_engine",
     "lint_paths",
     "random_plan",
     "trace_digest",

@@ -35,6 +35,7 @@ class BaselineCluster:
         registry: Optional[ProcedureRegistry] = None,
         partitioner: Optional[Partitioner] = None,
         tracer: Optional[TraceRecorder] = None,
+        record_history: bool = False,
     ):
         config.validate()
         if config.num_replicas != 1:
@@ -84,11 +85,20 @@ class BaselineCluster:
             node.register_metrics(self.metrics_registry, f"node.p{partition}")
         self.clients: List[ClosedLoopClient] = []
         self._txn_counter = 0
+        # Optional completion history: (completion index, txn, status) in
+        # commit order. Under strict 2PL + 2PC the commit point precedes
+        # lock release, so completion order is a valid serialization
+        # order — the equivalence oracle replays it serially.
+        self.record_history = record_history
+        self.history: List[Any] = []
+        self._initial_data: Dict[Key, Any] = {}
 
     # -- the subset of the CalvinCluster surface the clients need --------------
 
     def _completion_hook(self, txn: Transaction, result: TransactionResult) -> None:
         self.metrics.record_completion(txn.procedure, result, self.sim.now)
+        if self.record_history:
+            self.history.append((len(self.history), txn, result.status))
 
     def next_txn_id(self) -> int:
         self._txn_counter += 1
@@ -106,6 +116,14 @@ class BaselineCluster:
             per_partition.setdefault(self.catalog.partition_of(key), {})[key] = value
         for partition, chunk in per_partition.items():
             self.nodes[partition].store.load_bulk(chunk)
+        self._initial_data.update(data)
+
+    @property
+    def initial_data(self) -> Dict[Key, Any]:
+        return dict(self._initial_data)
+
+    def sorted_history(self) -> List[Any]:
+        return sorted(self.history, key=lambda entry: entry[0])
 
     def load_workload_data(self) -> None:
         if self.workload is None:
@@ -126,9 +144,16 @@ class BaselineCluster:
         overload). The legacy kwargs form works through the same
         deprecation shim as :meth:`CalvinCluster.add_clients`."""
         if not isinstance(profile, ClientProfile):
-            from repro.core.cluster import _warn_legacy_add_clients
+            from repro.core.cluster import (
+                _legacy_add_clients_args,
+                _warn_legacy_add_clients,
+            )
 
-            _warn_legacy_add_clients()
+            _warn_legacy_add_clients(
+                _legacy_add_clients_args(
+                    profile, workload, think_time, max_txns, per_partition
+                )
+            )
             count = per_partition if per_partition is not None else profile
             if not isinstance(count, int):
                 raise ConfigError(

@@ -148,6 +148,37 @@ def run_baseline(
     return cluster.run(duration=profile.duration, warmup=profile.warmup)
 
 
+def run_engine(
+    engine_name: str,
+    workload: Workload,
+    config: ClusterConfig,
+    profile: ScaleProfile,
+    clients_per_partition: Optional[int] = None,
+    tracer: Optional[TraceRecorder] = None,
+    on_cluster: Optional[Callable[[object], None]] = None,
+) -> RunReport:
+    """Saturate and measure one window under any registered engine.
+
+    The engine-generic twin of :func:`run_calvin` / :func:`run_baseline`,
+    dispatching through :mod:`repro.engines` — the path the three-system
+    shoot-out (``repro bench compare``) sweeps.
+    """
+    from repro.engines import get_engine
+
+    cluster = get_engine(engine_name).build(
+        config, workload, record_history=False, tracer=tracer
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(
+        ClientProfile(
+            per_partition=clients_per_partition or profile.clients_per_partition
+        )
+    )
+    if on_cluster is not None:
+        on_cluster(cluster)
+    return cluster.run(duration=profile.duration, warmup=profile.warmup)
+
+
 def machine_sweep(profile: ScaleProfile, targets=(1, 2, 4, 8, 16)) -> list:
     """Cluster sizes to sweep, clipped to the profile's cap."""
     return [m for m in targets if m <= profile.max_machines]

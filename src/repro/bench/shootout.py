@@ -1,0 +1,161 @@
+"""Three-system shoot-out: Calvin core vs 2PL+2PC baseline vs STAR.
+
+One saturated measurement window per (contention, multipartition-%)
+cell per engine, all on the paper's microbenchmark, all through the
+:mod:`repro.engines` seam — so every system sees the same workload
+generator, cost model, network and simulator.
+
+The sweep is built to expose the phase-switching trade STAR makes:
+
+* at **low multipartition fractions** STAR matches Calvin on the
+  single-partition stream and skips Calvin's per-participant
+  multipartition overhead (remote-read fan-out + wait) by running the
+  few multipartition transactions on the master's full-replica view —
+  it should **beat** Calvin;
+* at **high multipartition fractions** everything funnels through the
+  one master node, so STAR's throughput should **degrade toward the
+  single-node reference** (a 1-partition core run of the same
+  per-partition workload) while Calvin keeps scaling across partitions.
+
+The single-node reference column makes that ceiling visible in the
+same table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.bench.harness import SATURATION_CLIENTS, ScaleProfile, run_engine
+from repro.bench.reporting import ExperimentResult
+from repro.config import ClusterConfig
+from repro.core.metrics import RunReport
+from repro.errors import ConfigError
+from repro.workloads.microbenchmark import Microbenchmark
+
+# (label, per-partition hot set size): low contention first. The paper's
+# contention index is 1/hot_set_size (Section 6.3).
+DEFAULT_CONTENTION: Tuple[Tuple[str, int], ...] = (
+    ("low", 10000),
+    ("high", 100),
+)
+DEFAULT_MP_FRACTIONS: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.3, 0.5, 1.0)
+
+
+def _config_for(engine: str, partitions: int, seed: int) -> ClusterConfig:
+    return ClusterConfig(
+        num_partitions=partitions,
+        num_replicas=1,
+        seed=seed,
+        engine=engine,
+    )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = 2012,
+    partitions: int = 4,
+    engines: Sequence[str] = ("core", "baseline", "star"),
+    mp_fractions: Sequence[float] = DEFAULT_MP_FRACTIONS,
+    contention: Sequence[Tuple[str, int]] = DEFAULT_CONTENTION,
+    progress=None,
+) -> ExperimentResult:
+    """Sweep contention x multipartition-% across ``engines``.
+
+    Returns an :class:`ExperimentResult` with one throughput column per
+    engine plus the single-node reference; ``progress`` (if given) is
+    called with a one-line string after every cell, for live CLI output.
+    """
+    if partitions < 2:
+        raise ConfigError("the shoot-out needs >= 2 partitions")
+    unknown = [e for e in engines if e not in ("core", "baseline", "star")]
+    if unknown:
+        raise ConfigError(f"unknown engine(s) in shoot-out: {unknown}")
+    profile = ScaleProfile.get(scale)
+    # The phase-switch trade only shows at depth: under-saturated clients
+    # turn STAR's multipartition batching latency into lost throughput.
+    # Scale therefore controls window lengths only, never client count.
+    clients = SATURATION_CLIENTS
+
+    headers = ["contention", "hot_set", "mp_%"]
+    headers += [f"{engine}_tps" for engine in engines]
+    headers.append("single_node_tps")
+    if "core" in engines and "star" in engines:
+        headers.append("star/calvin")
+    result = ExperimentResult(
+        experiment="engine-shootout",
+        title=(
+            f"{' vs '.join(engines)}, {partitions} partitions, "
+            f"{scale} scale, seed {seed}"
+        ),
+        headers=headers,
+    )
+
+    for label, hot_set_size in contention:
+        # The single-node ceiling: the same per-partition workload on one
+        # partition (multipartition draws collapse to single-partition
+        # there, so one run covers every mp point of this contention row).
+        reference = run_engine(
+            "core",
+            Microbenchmark(hot_set_size=hot_set_size, cold_set_size=10000),
+            _config_for("core", 1, seed),
+            profile,
+            clients_per_partition=clients,
+        )
+        if progress is not None:
+            progress(
+                f"contention={label} single-node reference: "
+                f"{reference.throughput:,.0f} txn/s"
+            )
+        for mp_fraction in mp_fractions:
+            reports: Dict[str, RunReport] = {}
+            for engine in engines:
+                workload = Microbenchmark(
+                    hot_set_size=hot_set_size,
+                    cold_set_size=10000,
+                    mp_fraction=mp_fraction,
+                )
+                reports[engine] = run_engine(
+                    engine, workload, _config_for(engine, partitions, seed),
+                    profile, clients_per_partition=clients,
+                )
+                if progress is not None:
+                    progress(
+                        f"contention={label} mp={mp_fraction:.0%} "
+                        f"{engine}: {reports[engine].throughput:,.0f} txn/s"
+                    )
+            row = [label, hot_set_size, round(mp_fraction * 100, 1)]
+            row += [round(reports[engine].throughput, 1) for engine in engines]
+            row.append(round(reference.throughput, 1))
+            if "core" in engines and "star" in engines:
+                calvin = reports["core"].throughput
+                row.append(
+                    round(reports["star"].throughput / calvin, 2) if calvin else 0.0
+                )
+            result.add_row(*row)
+
+    result.notes = (
+        "star should beat core at low mp% and degrade toward "
+        "single_node_tps as mp% -> 100"
+    )
+    return result
+
+
+def summarize(result: ExperimentResult) -> str:
+    """One-line verdict over a shoot-out table (used by tests and CLI)."""
+    verdicts = []
+    for row in result.as_dicts():
+        if "star_tps" not in row or "core_tps" not in row:
+            return "n/a (need both core and star columns)"
+        ratio = row["star_tps"] / row["core_tps"] if row["core_tps"] else 0.0
+        verdicts.append(
+            f"{row['contention']}/mp={row['mp_%']}%: star/calvin={ratio:.2f}"
+        )
+    return "; ".join(verdicts)
+
+
+__all__ = [
+    "DEFAULT_CONTENTION",
+    "DEFAULT_MP_FRACTIONS",
+    "run",
+    "summarize",
+]

@@ -28,6 +28,11 @@ Commands:
 - ``bench saturation [--scale S] [--seed N] [--policy P] [--arrival A]
   [--partitions K]`` — sweep open-loop offered load across the
   admission knee and print the throughput-vs-latency curve.
+- ``bench compare [--engines LIST] [--scale S] [--seed N]
+  [--partitions K] [--mp LIST] [--hot LIST]`` — the three-system
+  shoot-out: sweep contention × multipartition-% across the registered
+  execution engines (Calvin core, 2PL+2PC baseline, STAR) and print one
+  throughput table with a single-node reference column.
 - ``lint [paths...] [--format text|json] [--baseline F]
   [--write-baseline] [--rules LIST] [--show-waived]`` — determinism
   static analysis (DET001–DET006) over Python sources; exit 1 on any
@@ -140,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="trace the microbenchmark and print latency breakdowns"
     )
     trace.add_argument("--system", default="both",
-                       choices=("calvin", "baseline", "both"))
+                       choices=("calvin", "baseline", "star", "both", "all"),
+                       help="both = calvin+baseline; all adds the star engine")
     trace.add_argument("--format", default="summary",
                        choices=("summary", "chrome"),
                        help="summary = per-phase latency table; "
@@ -202,6 +208,29 @@ def build_parser() -> argparse.ArgumentParser:
     saturation.add_argument("--chart", action="store_true",
                             help="render the curve as ASCII bars")
     _add_sanitize_flag(saturation)
+    shootout = bench_sub.add_parser(
+        "compare",
+        help="three-system shoot-out: contention × multipartition-% "
+             "sweep across execution engines",
+    )
+    shootout.add_argument("--engines", default="core,baseline,star",
+                          help="comma-separated engine list "
+                               "(default core,baseline,star)")
+    shootout.add_argument("--scale", default="smoke",
+                          choices=("smoke", "quick", "full"))
+    shootout.add_argument("--seed", type=int, default=2012)
+    shootout.add_argument("--partitions", type=int, default=4)
+    shootout.add_argument("--mp", metavar="LIST", default=None,
+                          help="comma-separated multipartition fractions, "
+                               "e.g. 0,0.1,0.5,1 (default full sweep)")
+    shootout.add_argument("--hot", metavar="LIST", default=None,
+                          help="comma-separated per-partition hot-set sizes "
+                               "(contention levels; default 10000,100)")
+    shootout.add_argument("--json", metavar="FILE",
+                          help="also write the table as JSON")
+    shootout.add_argument("--csv", metavar="FILE",
+                          help="also write the table as CSV")
+    _add_sanitize_flag(shootout)
 
     lint = sub.add_parser(
         "lint", help="determinism static analysis (DET rules) over sources"
@@ -405,6 +434,15 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
             sanitize=args.sanitize,
         )
         cluster = CalvinCluster(config, workload=workload, tracer=tracer)
+    elif system == "star":
+        from repro.engines import build_cluster
+
+        # The star engine models one replica and no fault injection.
+        config = ClusterConfig(
+            num_partitions=args.partitions, num_replicas=1, seed=args.seed,
+            engine="star", sanitize=args.sanitize,
+        )
+        cluster = build_cluster(config, workload=workload, tracer=tracer)
     else:
         from repro.baseline.cluster import BaselineCluster
 
@@ -427,7 +465,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.obs import chrome_trace, summary_table, write_chrome_trace
 
-    systems = ("calvin", "baseline") if args.system == "both" else (args.system,)
+    if args.system == "both":
+        systems = ("calvin", "baseline")
+    elif args.system == "all":
+        systems = ("calvin", "baseline", "star")
+    else:
+        systems = (args.system,)
     # With --format=chrome and no --out, stdout must stay pure JSON.
     quiet = args.format == "chrome" and not args.out
     runs = {}
@@ -488,6 +531,40 @@ def cmd_bench_saturation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import shootout
+
+    engines = tuple(part.strip() for part in args.engines.split(",") if part.strip())
+    kwargs = {}
+    if args.mp:
+        kwargs["mp_fractions"] = tuple(
+            float(part) for part in args.mp.split(",") if part.strip()
+        )
+    if args.hot:
+        kwargs["contention"] = tuple(
+            (f"hot={part.strip()}", int(part))
+            for part in args.hot.split(",")
+            if part.strip()
+        )
+    print(f"engine shoot-out: {', '.join(engines)} ({args.scale} scale, "
+          f"seed {args.seed}, {args.partitions} partitions)...",
+          file=sys.stderr)
+    result = shootout.run(
+        scale=args.scale,
+        seed=args.seed,
+        partitions=args.partitions,
+        engines=engines,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+        **kwargs,
+    )
+    print(result)
+    if args.json:
+        print(f"wrote {save_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote {save_csv(result, args.csv)}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     import json
 
@@ -495,6 +572,8 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     if args.bench_command == "saturation":
         return cmd_bench_saturation(args)
+    if args.bench_command == "compare":
+        return cmd_bench_compare(args)
     if args.bench_command != "perf":
         parser.parse_args(["bench", "--help"])
         return 2

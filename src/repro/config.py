@@ -77,6 +77,12 @@ class ClusterConfig:
     num_partitions: int = 4
     num_replicas: int = 1
     workers_per_node: int = 8
+    # Execution engine driving the cluster (see repro.engines): "core"
+    # is Calvin's deterministic scheduler, "baseline" the 2PL+2PC
+    # comparison system, "star" the phase-switching engine. Clusters
+    # built directly (CalvinCluster/BaselineCluster) ignore the field;
+    # repro.engines.build_cluster and the CLI honour it.
+    engine: str = "core"
     # Lock-manager threads per node. The paper uses one (requests are
     # strictly serialized); sharding the lock table by key preserves
     # determinism per key and lifts the admission ceiling — the
@@ -139,6 +145,25 @@ class ClusterConfig:
     # Virtual-time horizon the profile's schedule is stretched over —
     # should cover the measured run so every fault fires and heals.
     fault_horizon: float = 2.0
+    # -- STAR engine knobs (engine="star"; ignored elsewhere) -------------
+    # The full-replica node that drains the multipartition backlog
+    # during single-master phases.
+    star_master_partition: int = 0
+    # Partitioned-phase length in epochs, chosen by the deterministic
+    # controller from the observed multipartition fraction f:
+    #   epochs = clamp(round(gain * (1 - f) / max(f, 1/32)), min, max)
+    # The cap trades multipartition parking time (a parked txn holds its
+    # locks until the next single-master phase, throttling contended
+    # hot sets) against switch overhead; 2 keeps the contended-workload
+    # penalty small while preserving the adaptive range.
+    star_min_partitioned_epochs: int = 1
+    star_max_partitioned_epochs: int = 2
+    star_phase_gain: float = 0.5
+    # One-way cost of a phase switch (the fence/handover barrier).
+    star_switch_latency: float = 0.001
+    # Extra master-worker CPU per multipartition transaction (applying
+    # the master's writes back onto the partition replicas).
+    star_master_txn_overhead_cpu: float = 100e-6
 
     def validate(self) -> None:
         if self.num_partitions < 1:
@@ -183,6 +208,29 @@ class ClusterConfig:
                 )
         if self.fault_horizon <= 0:
             raise ConfigError("fault_horizon must be positive")
+        # Imported lazily: repro.engines imports this module.
+        from repro.engines import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; known: {sorted(ENGINES)}"
+            )
+        if not 0 <= self.star_master_partition < self.num_partitions:
+            raise ConfigError(
+                "star_master_partition must name an existing partition"
+            )
+        if self.star_min_partitioned_epochs < 1:
+            raise ConfigError("star_min_partitioned_epochs must be >= 1")
+        if self.star_max_partitioned_epochs < self.star_min_partitioned_epochs:
+            raise ConfigError(
+                "star_max_partitioned_epochs must be >= star_min_partitioned_epochs"
+            )
+        if self.star_phase_gain <= 0:
+            raise ConfigError("star_phase_gain must be positive")
+        if self.star_switch_latency < 0:
+            raise ConfigError("star_switch_latency must be >= 0")
+        if self.star_master_txn_overhead_cpu < 0:
+            raise ConfigError("star_master_txn_overhead_cpu must be >= 0")
         self.costs.validate()
 
     @property

@@ -45,14 +45,34 @@ AnyClient = Union[ClosedLoopClient, OpenLoopClient]
 _warned_legacy_add_clients = False
 
 
-def _warn_legacy_add_clients() -> None:
+def _legacy_add_clients_args(
+    profile, workload, think_time, max_txns, per_partition
+) -> List[str]:
+    """The legacy argument names a non-profile add_clients call used."""
+    offending = []
+    if profile is not None:
+        offending.append("per_partition (positional)")
+    if per_partition is not None:
+        offending.append("per_partition")
+    if workload is not None:
+        offending.append("workload")
+    if think_time != 0.0:
+        offending.append("think_time")
+    if max_txns is not None:
+        offending.append("max_txns")
+    return offending
+
+
+def _warn_legacy_add_clients(offending: Iterable[str] = ()) -> None:
     global _warned_legacy_add_clients
     if _warned_legacy_add_clients:
         return
     _warned_legacy_add_clients = True
+    used = ", ".join(offending) or "per_partition"
     warnings.warn(
-        "add_clients(per_partition, **kwargs) is deprecated; pass a "
-        "repro.ClientProfile instead: add_clients(ClientProfile(...))",
+        f"add_clients(per_partition, **kwargs) is deprecated (legacy "
+        f"argument(s): {used}); pass a repro.ClientProfile instead: "
+        "add_clients(ClientProfile(...))",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -108,21 +128,7 @@ class CalvinCluster:
         self.nodes: Dict[NodeId, CalvinNode] = {}
         for node_id in self.catalog.nodes():
             on_complete = self._completion_hook if node_id.replica == 0 else None
-            self.nodes[node_id] = CalvinNode(
-                self.sim,
-                self.network,
-                node_id,
-                self.catalog,
-                config,
-                self.registry,
-                self.rngs,
-                cold_predicate=cold,
-                on_complete=on_complete,
-                # Traces on every replica: the live fault checkers compare
-                # peer replicas' executed prefixes against replica 0's.
-                record_trace=record_history,
-                tracer=self.tracer,
-            )
+            self.nodes[node_id] = self._make_node(node_id, on_complete, cold)
         for node_id, node in self.nodes.items():
             prefix = f"node.r{node_id.replica}p{node_id.partition}"
             node.sequencer.register_metrics(self.metrics_registry, prefix)
@@ -160,6 +166,26 @@ class CalvinCluster:
                 node.scheduler.retain_remote_reads = True
 
     # -- construction helpers ------------------------------------------------
+
+    def _make_node(self, node_id: NodeId, on_complete, cold) -> CalvinNode:
+        """Build one node. Engine subclasses override to swap the node
+        (and with it the scheduler) implementation; the hook must stay
+        behaviour-identical for the core engine."""
+        return CalvinNode(
+            self.sim,
+            self.network,
+            node_id,
+            self.catalog,
+            self.config,
+            self.registry,
+            self.rngs,
+            cold_predicate=cold,
+            on_complete=on_complete,
+            # Traces on every replica: the live fault checkers compare
+            # peer replicas' executed prefixes against replica 0's.
+            record_trace=self.record_history,
+            tracer=self.tracer,
+        )
 
     def _build_topology(self):
         config = self.config
@@ -250,7 +276,11 @@ class CalvinCluster:
         """
         if not isinstance(profile, ClientProfile):
             # Deprecation shim: the old kwargs-soup form.
-            _warn_legacy_add_clients()
+            _warn_legacy_add_clients(
+                _legacy_add_clients_args(
+                    profile, workload, think_time, max_txns, per_partition
+                )
+            )
             count = per_partition if per_partition is not None else profile
             if not isinstance(count, int):
                 raise ConfigError(

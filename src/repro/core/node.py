@@ -56,6 +56,11 @@ _CHECKPOINT_SLICE = 4096
 class CalvinNode:
     """A full Calvin server: one partition of one replica."""
 
+    # The scheduler implementation this node type wires in. Engine
+    # subclasses (e.g. STAR's node) override it; the class must accept
+    # the same constructor signature as :class:`Scheduler`.
+    scheduler_class = Scheduler
+
     def __init__(
         self,
         sim: "Simulator",
@@ -94,7 +99,7 @@ class CalvinNode:
             replica=node_id.replica,
         )
         self.input_log = InputLog()
-        self.scheduler = Scheduler(
+        self.scheduler = self.scheduler_class(
             sim,
             node_id,
             catalog,

@@ -1,0 +1,58 @@
+"""Execution-engine registry (see :mod:`repro.engines.base`).
+
+This module stays import-light: :class:`repro.config.ClusterConfig`
+validates ``engine`` names against :data:`ENGINES` lazily, so importing
+it must not drag in the cluster implementations (which themselves
+import the config module). Engine modules load on first
+:func:`get_engine` call.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict, Optional, TYPE_CHECKING, Tuple
+
+from repro.engines.base import ExecutionEngine
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import ClusterConfig
+    from repro.workloads.base import Workload
+
+# name -> (module, class). Adding a fourth engine is one line here plus
+# an ExecutionEngine subclass; docs/engines.md walks through it.
+ENGINES: Dict[str, Tuple[str, str]] = {
+    "core": ("repro.engines.core", "CoreEngine"),
+    "baseline": ("repro.engines.baseline", "BaselineEngine"),
+    "star": ("repro.engines.star", "StarEngine"),
+}
+
+_instances: Dict[str, ExecutionEngine] = {}
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    """The (singleton) engine registered under ``name``."""
+    if name not in ENGINES:
+        raise ConfigError(f"unknown engine {name!r}; known: {sorted(ENGINES)}")
+    engine = _instances.get(name)
+    if engine is None:
+        module_name, class_name = ENGINES[name]
+        engine = getattr(importlib.import_module(module_name), class_name)()
+        if engine.name != name:
+            raise ConfigError(
+                f"engine registered as {name!r} calls itself {engine.name!r}"
+            )
+        _instances[name] = engine
+    return engine
+
+
+def build_cluster(
+    config: "ClusterConfig",
+    workload: Optional["Workload"] = None,
+    **kwargs: Any,
+) -> Any:
+    """Build the cluster ``config.engine`` names (the CLI entry point)."""
+    return get_engine(config.engine).build(config, workload, **kwargs)
+
+
+__all__ = ["ENGINES", "ExecutionEngine", "build_cluster", "get_engine"]

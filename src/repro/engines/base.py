@@ -1,0 +1,98 @@
+"""The `ExecutionEngine` seam: one contract, three transaction processors.
+
+An execution engine is a *strategy for turning a stream of transaction
+requests into serializable state changes* on the shared substrate (the
+deterministic simulator, the network model, the partitioned storage
+engine, the workload generators, the obs stack). The repository ships
+three:
+
+``core``
+    Calvin's deterministic scheduler (the paper): epoch-batched global
+    pre-ordering, in-order lock acquisition, distributed execution with
+    remote-read push.
+``baseline``
+    The System R*-style comparison point: strict 2PL with wait-die,
+    two-phase commit with forced log writes.
+``star``
+    STAR-style phase switching (arXiv:1811.02059): single-partition
+    transactions execute locally under Calvin's deterministic locking;
+    multipartition transactions drain on a designated master node
+    during single-master phases, coordination-free.
+
+The engine object itself is tiny — a named factory. The real contract
+is on the **cluster** it builds, which must expose the surface the
+clients, benchmark harness, and equivalence oracle drive:
+
+==================  =====================================================
+attribute           meaning
+==================  =====================================================
+``config``          the validated :class:`repro.config.ClusterConfig`
+``sim``             the owned :class:`repro.sim.kernel.Simulator`
+``metrics``         a :class:`repro.core.metrics.Metrics`
+``load(data)``      bulk-load initial records into every partition
+``load_workload_data()``  load ``workload.initial_data``
+``add_clients(p)``  create a client population from a ClientProfile
+``run(d, warmup)``  drive for ``d`` seconds of virtual time; RunReport
+``quiesce()``       run until bounded clients + in-flight work drain
+``final_state()``   union of the (replica-0) partition stores
+``next_txn_id()``   monotone transaction-id allocator
+==================  =====================================================
+
+Engines whose agreed order is reconstructible (``deterministic_order``)
+additionally expose ``sorted_history()`` — the serial history the
+:mod:`repro.core.checkers` replay — and identical ``(workload, seed)``
+inputs must yield *identical* final states across such engines. Engines
+without a pre-agreed order (the baseline) instead promise
+serializability: some serial order of the committed transactions
+explains the final state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import ClusterConfig
+    from repro.workloads.base import Workload
+
+
+class ExecutionEngine(ABC):
+    """A named factory for one transaction-processing strategy.
+
+    Subclasses set :attr:`name` (the ``ClusterConfig.engine`` /
+    ``--engine`` spelling) and implement :meth:`build`. Register new
+    engines in :data:`repro.engines.ENGINES`; see ``docs/engines.md``
+    for the step-by-step recipe.
+    """
+
+    #: Registry key; also what ``ClusterConfig.engine`` validates against.
+    name: str = "abstract"
+
+    #: True when the engine executes an agreed global order, so same
+    #: (workload, seed, injected schedule) implies bit-identical final
+    #: state across engines sharing the flag. False for engines that
+    #: only promise *some* serializable order (the lock-race baseline).
+    deterministic_order: bool = True
+
+    @abstractmethod
+    def build(
+        self,
+        config: "ClusterConfig",
+        workload: Optional["Workload"] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Assemble a cluster implementing the surface described above.
+
+        ``kwargs`` pass through to the concrete cluster constructor
+        (``tracer=``, ``record_history=``, ...).
+        """
+
+    def prepare_config(self, config: "ClusterConfig") -> "ClusterConfig":
+        """``config`` rewritten to name this engine (validated)."""
+        if config.engine == self.name:
+            return config
+        return config.with_changes(engine=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - presentation
+        return f"<ExecutionEngine {self.name}>"

@@ -1,0 +1,19 @@
+"""The ``baseline`` engine: strict 2PL with wait-die plus 2PC."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engines.base import ExecutionEngine
+
+
+class BaselineEngine(ExecutionEngine):
+    name = "baseline"
+    # Lock races decide the serialization order, so only *a* serializable
+    # outcome is promised — not Calvin's pre-agreed one.
+    deterministic_order = False
+
+    def build(self, config, workload: Optional[Any] = None, **kwargs: Any):
+        from repro.baseline.cluster import BaselineCluster
+
+        return BaselineCluster(self.prepare_config(config), workload=workload, **kwargs)

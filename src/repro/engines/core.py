@@ -1,0 +1,17 @@
+"""The ``core`` engine: Calvin's deterministic scheduler (the paper)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engines.base import ExecutionEngine
+
+
+class CoreEngine(ExecutionEngine):
+    name = "core"
+    deterministic_order = True
+
+    def build(self, config, workload: Optional[Any] = None, **kwargs: Any):
+        from repro.core.cluster import CalvinCluster
+
+        return CalvinCluster(self.prepare_config(config), workload=workload, **kwargs)

@@ -1,0 +1,20 @@
+"""The ``star`` engine: phase switching with a single-master MP drain."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engines.base import ExecutionEngine
+
+
+class StarEngine(ExecutionEngine):
+    name = "star"
+    # STAR keeps Calvin's agreed global order (phases gate only *where*
+    # multipartition transactions run), so final state matches core's
+    # bit for bit on the same input schedule.
+    deterministic_order = True
+
+    def build(self, config, workload: Optional[Any] = None, **kwargs: Any):
+        from repro.star.cluster import StarCluster
+
+        return StarCluster(self.prepare_config(config), workload=workload, **kwargs)

@@ -88,6 +88,31 @@ class PrefetchRequest:
 
 
 @dataclass(frozen=True, slots=True)
+class StarReady:
+    """STAR participant → master: local locks granted for one
+    multipartition transaction; it may run once every participant says so."""
+
+    stxn: SequencedTxn
+    from_partition: int
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _TXN_WIRE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class StarRelease:
+    """STAR master → participant: a multipartition transaction finished
+    on the master; release its locks (the result rides along so the
+    reply partition can answer the client)."""
+
+    seq: GlobalSeq
+    result: TransactionResult
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + 128
+
+
+@dataclass(frozen=True, slots=True)
 class TxnReply:
     """Reply partition → client: terminal result of one attempt."""
 

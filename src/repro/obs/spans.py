@@ -46,6 +46,9 @@ class SpanKind(enum.Enum):
     APPLY = "apply"
     # Checkpoint activity on a node (naive freeze or zigzag dump).
     CHECKPOINT = "checkpoint"
+    # One STAR execution phase (partitioned or single-master) on the
+    # phase controller's node; detail carries the phase name.
+    PHASE = "phase"
 
     def __str__(self) -> str:  # pragma: no cover - presentation
         return self.value

@@ -334,6 +334,12 @@ class Scheduler:
                     txn_id=stxn.txn.txn_id,
                     seq=stxn.seq,
                 )
+        self._start_execution(stxn)
+
+    def _start_execution(self, stxn: SequencedTxn) -> None:
+        """Run a fully-granted transaction. The seam engines override:
+        the core engine executes locally; STAR routes multipartition
+        transactions to its master node instead."""
         process = self.sim.process(run_transaction(self, stxn))
         process.add_callback(self._executor_finished)
 

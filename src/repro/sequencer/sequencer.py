@@ -65,6 +65,12 @@ class Sequencer:
         # immediately (bit-for-bit the pre-admission behaviour).
         self.admission = None
 
+        # Optional hook called at every epoch tick with (epoch, batch),
+        # before the batch is published. Pure observation: installers
+        # must not mutate the batch or schedule simulator events (STAR's
+        # phase controller uses it to track the multipartition fraction).
+        self.batch_observer: Any = None
+
         self._buffer: List[Transaction] = []
         self._epoch = 0
         self._dispatched_epochs = set()
@@ -185,6 +191,8 @@ class Sequencer:
         self._epoch += 1
         batch, self._buffer = tuple(self._buffer), []
         self.txns_sequenced += len(batch)
+        if self.batch_observer is not None:
+            self.batch_observer(epoch, batch)
         if self._tracing:
             for txn in batch:
                 start = self.tracer.take_mark(("seq-arrival", txn.txn_id))

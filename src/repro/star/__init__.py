@@ -1,0 +1,23 @@
+"""STAR-style phase-switching execution engine (arXiv:1811.02059).
+
+Single-partition transactions execute under Calvin's deterministic
+locking on their home partition, in any phase. Multipartition
+transactions are routed to a designated *master* node and drain there,
+coordination-free, during single-master phases. A deterministic
+controller alternates the phases, sizing the partitioned phase from the
+observed multipartition fraction.
+"""
+
+from repro.star.cluster import StarCluster
+from repro.star.master import StarMaster
+from repro.star.phase import PARTITIONED, SINGLE_MASTER, PhaseController
+from repro.star.scheduler import StarScheduler
+
+__all__ = [
+    "PARTITIONED",
+    "PhaseController",
+    "SINGLE_MASTER",
+    "StarCluster",
+    "StarMaster",
+    "StarScheduler",
+]

@@ -33,6 +33,11 @@ GOLDEN_CHAOS = (
     6258,
     80,
 )
+GOLDEN_STAR = (
+    "4986368713583767410ce43bd1b9643fc0b52a914a83b48afabb34b14c19bd5b",
+    1517,
+    80,   # same commit count as GOLDEN_CALVIN: same schedule, same effects
+)
 
 
 def _workload():
@@ -71,6 +76,25 @@ def test_golden_baseline_digest():
     cluster.quiesce()
     observed = (tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed)
     assert observed == GOLDEN_BASELINE
+
+
+def test_golden_star_digest():
+    # The STAR engine on the same workload/seed as GOLDEN_CALVIN: phase
+    # switching changes the interleaving (its own digest) but must not
+    # change what commits.
+    from repro.core.traffic import ClientProfile
+    from repro.engines import build_cluster
+
+    tracer = TraceRecorder()
+    config = ClusterConfig(num_partitions=2, num_replicas=1, seed=2012,
+                           engine="star")
+    cluster = build_cluster(config, workload=_workload(), tracer=tracer)
+    cluster.load_workload_data()
+    cluster.add_clients(ClientProfile(per_partition=4, max_txns=10))
+    cluster.run(duration=0.3)
+    cluster.quiesce()
+    observed = (tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed)
+    assert observed == GOLDEN_STAR
 
 
 def test_golden_chaos_digest():

@@ -16,6 +16,7 @@ EXPECTED_EXPORTS = [
     "DEFAULT_CONFIG",
     "DeterminismSanitizer",
     "DeterminismViolation",
+    "ExecutionEngine",
     "FAULT_PROFILES",
     "FaultEvent",
     "FaultInjector",
@@ -40,6 +41,7 @@ EXPECTED_EXPORTS = [
     "TxnStatus",
     "Workload",
     "YcsbWorkload",
+    "build_cluster",
     "build_profile",
     "check_conflict_order",
     "check_epoch_contiguity",
@@ -48,6 +50,7 @@ EXPECTED_EXPORTS = [
     "check_replica_consistency",
     "check_replica_prefix_consistency",
     "check_serializability",
+    "get_engine",
     "lint_paths",
     "random_plan",
     "trace_digest",

@@ -363,6 +363,29 @@ class TestAddClientsShim:
             warnings.simplefilter("error")  # second use must not warn again
             cluster.add_clients(per_partition=1, max_txns=5)
 
+    def test_warning_names_the_offending_arguments(self, bank_workload, monkeypatch):
+        """The warn-once shim must say *which* legacy argument was used,
+        not just that one was."""
+        monkeypatch.setattr(cluster_mod, "_warned_legacy_add_clients", False)
+        config = ClusterConfig(num_partitions=2, seed=3)
+        cluster = CalvinCluster(config, workload=bank_workload, record_history=False)
+        with pytest.warns(
+            DeprecationWarning,
+            match=(r"legacy argument\(s\): per_partition \(positional\), "
+                   r"max_txns.*ClientProfile"),
+        ):
+            cluster.add_clients(4, max_txns=5)
+
+    def test_warning_names_keyword_arguments(self, bank_workload, monkeypatch):
+        monkeypatch.setattr(cluster_mod, "_warned_legacy_add_clients", False)
+        config = ClusterConfig(num_partitions=2, seed=3)
+        cluster = CalvinCluster(config, workload=bank_workload, record_history=False)
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"legacy argument\(s\): per_partition, think_time, max_txns",
+        ):
+            cluster.add_clients(per_partition=2, think_time=0.01, max_txns=5)
+
     def test_profile_form_does_not_warn(self, bank_workload, monkeypatch):
         monkeypatch.setattr(cluster_mod, "_warned_legacy_add_clients", False)
         config = ClusterConfig(num_partitions=2, seed=3)
