@@ -12,7 +12,8 @@ Commands:
 - ``demo`` — a 30-second guided tour (tiny cluster, a few transactions,
   a serializability check).
 - ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]
-  [--open-loop RATE] [--admission POLICY]`` — run the microbenchmark
+  [--topology T] [--open-loop RATE] [--admission POLICY]`` — run the
+  microbenchmark
   under a named fault profile, verify every correctness invariant, and
   print the reproducible fault-trace digest. With ``--open-loop`` the
   cluster is additionally driven by open-loop clients at RATE txn/s per
@@ -33,6 +34,13 @@ Commands:
   shoot-out: sweep contention × multipartition-% across the registered
   execution engines (Calvin core, 2PL+2PC baseline, STAR) and print one
   throughput table with a single-node reference column.
+- ``bench geo [--scale S | --smoke] [--seed N] [--topology T]
+  [--partitions K]`` — the geo curves: WAN contention collapse over a
+  routed multi-hop topology, and replica-local read throughput vs
+  freshness; prints a deterministic digest over both tables.
+- ``topology show [preset] [--replicas N] [--wan-latency S]
+  [--wan-bandwidth B]`` — print a geo preset's datacenters, links and
+  deterministic route table.
 - ``lint [paths...] [--format text|json] [--baseline F]
   [--write-baseline] [--rules LIST] [--show-waived]`` — determinism
   static analysis (DET001–DET006) over Python sources; exit 1 on any
@@ -90,7 +98,17 @@ def _add_run_flags(
     parser.add_argument("--replicas", type=int, default=replicas,
                         help="replica count (paxos replication when > 1)")
     parser.add_argument("--partitions", type=int, default=partitions)
+    _add_topology_flag(parser)
     _add_sanitize_flag(parser)
+
+
+def _add_topology_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default=None,
+        choices=("chain", "ring", "mesh", "hub"),
+        help="geo topology preset: route WAN traffic over a datacenter "
+             "graph (one DC per replica) instead of the flat WAN pair",
+    )
 
 
 def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
@@ -232,6 +250,41 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the table as CSV")
     _add_sanitize_flag(shootout)
 
+    geo = bench_sub.add_parser(
+        "geo",
+        help="geo curves: WAN contention collapse + replica-local reads",
+    )
+    geo.add_argument("--scale", default="quick",
+                     choices=("smoke", "quick", "full"))
+    geo.add_argument("--smoke", action="store_true",
+                     help="alias for --scale smoke (CI)")
+    geo.add_argument("--seed", type=int, default=2012)
+    geo.add_argument("--topology", default="chain",
+                     choices=("chain", "ring", "mesh", "hub"),
+                     help="topology for the contention sweep (default chain)")
+    geo.add_argument("--partitions", type=int, default=2)
+    geo.add_argument("--json", metavar="PREFIX",
+                     help="also write the tables as PREFIX-<experiment>.json")
+    geo.add_argument("--csv", metavar="PREFIX",
+                     help="also write the tables as PREFIX-<experiment>.csv")
+    _add_sanitize_flag(geo)
+
+    topology = sub.add_parser(
+        "topology", help="inspect geo topology presets and their routes"
+    )
+    topology_sub = topology.add_subparsers(dest="topology_command")
+    topo_show = topology_sub.add_parser(
+        "show", help="print a preset's datacenters, links and route table"
+    )
+    topo_show.add_argument("preset", nargs="?", default="chain",
+                           choices=("chain", "ring", "mesh", "hub"))
+    topo_show.add_argument("--replicas", type=int, default=3,
+                           help="datacenter count (one DC per replica)")
+    topo_show.add_argument("--wan-latency", type=float, default=0.05,
+                           help="per-link propagation latency, seconds")
+    topo_show.add_argument("--wan-bandwidth", type=float, default=12.5e6,
+                           help="per-link capacity, bytes/second")
+
     lint = sub.add_parser(
         "lint", help="determinism static analysis (DET rules) over sources"
     )
@@ -355,6 +408,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fault_horizon=args.duration * 0.85,
         admission_policy=args.admission if open_loop else "none",
         admission_epoch_budget=20 if open_loop else None,
+        topology=args.topology,
         sanitize=args.sanitize,
     )
     cluster = CalvinCluster(
@@ -431,6 +485,7 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
             seed=args.seed,
             fault_profile=args.profile,
             fault_horizon=args.duration * 0.85,
+            topology=args.topology,
             sanitize=args.sanitize,
         )
         cluster = CalvinCluster(config, workload=workload, tracer=tracer)
@@ -531,6 +586,45 @@ def cmd_bench_saturation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_geo(args: argparse.Namespace) -> int:
+    from repro.bench import geo
+
+    scale = "smoke" if args.smoke else args.scale
+    print(f"geo curves ({scale} scale, seed {args.seed}, "
+          f"{args.topology} topology, {args.partitions} partitions)...",
+          file=sys.stderr)
+    collapse, reads, digest = geo.run(
+        scale=scale,
+        seed=args.seed,
+        topology=args.topology,
+        partitions=args.partitions,
+    )
+    print(collapse)
+    print()
+    print(reads)
+    print(f"\ngeo digest {digest}")
+    print("rerun with the same seed to reproduce this digest bit-for-bit")
+    for result in (collapse, reads):
+        if args.json:
+            print(f"wrote {save_json(result, f'{args.json}-{result.experiment}.json')}")
+        if args.csv:
+            print(f"wrote {save_csv(result, f'{args.csv}-{result.experiment}.csv')}")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.topology_command != "show":
+        parser.parse_args(["topology", "--help"])
+        return 2
+    from repro.geo.presets import GEO_PRESETS
+
+    topo = GEO_PRESETS[args.preset](
+        args.replicas, args.wan_latency, args.wan_bandwidth, 0.0005, 125e6
+    )
+    print(topo.describe())
+    return 0
+
+
 def cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.bench import shootout
 
@@ -572,6 +666,8 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     if args.bench_command == "saturation":
         return cmd_bench_saturation(args)
+    if args.bench_command == "geo":
+        return cmd_bench_geo(args)
     if args.bench_command == "compare":
         return cmd_bench_compare(args)
     if args.bench_command != "perf":
@@ -643,6 +739,7 @@ def cmd_bisect(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_profile=args.profile,
         fault_horizon=args.duration * 0.85,
+        topology=args.topology,
         sanitize=args.sanitize,
     )
 
@@ -705,6 +802,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_trace(args)
         if args.command == "bench":
             return cmd_bench(args, parser)
+        if args.command == "topology":
+            return cmd_topology(args, parser)
         if args.command == "lint":
             return cmd_lint(args)
         if args.command == "bisect":

@@ -14,7 +14,7 @@ Times are in seconds of virtual time throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -103,6 +103,21 @@ class ClusterConfig:
     lan_latency: float = 0.0005
     lan_bandwidth: float = 125e6
     wan_bandwidth: float = 12.5e6
+    # -- geo topology (see repro.geo and docs/geo.md) ---------------------
+    # Named geo-topology preset ("chain", "ring", "mesh", "hub"): one
+    # datacenter per replica, WAN links with the latency/bandwidth knobs
+    # above, multi-hop routing and fair bandwidth sharing. None keeps
+    # the flat point-to-point network (bit-identical event sequences).
+    topology: Optional[str] = None
+    # Partial replication: per-replica tuples of hosted partitions.
+    # None = full replication (every replica hosts every partition).
+    # Replica 0 must host everything (it is the system of record that
+    # ships writesets for transactions straddling a peer's hosted set).
+    partial_hosting: Optional[Tuple[Tuple[int, ...], ...]] = None
+    # Where add_clients places input clients on a geo topology:
+    #   "input"  — all at replica 0's datacenter (the input site),
+    #   "spread" — client i in datacenter i % num_datacenters.
+    client_placement: str = "input"
     seed: int = 2012
     costs: CostModel = field(default_factory=CostModel)
     # Disk-based storage (Section 4): if True, reads of cold keys go to
@@ -208,6 +223,60 @@ class ClusterConfig:
                 )
         if self.fault_horizon <= 0:
             raise ConfigError("fault_horizon must be positive")
+        if self.topology is not None:
+            # Imported lazily: repro.geo.presets imports this module.
+            from repro.geo.presets import GEO_PRESETS
+
+            if self.topology not in GEO_PRESETS:
+                raise ConfigError(
+                    f"unknown topology preset {self.topology!r}; "
+                    f"known: {sorted(GEO_PRESETS)}"
+                )
+        if self.client_placement not in ("input", "spread"):
+            raise ConfigError(
+                f"unknown client placement: {self.client_placement!r}"
+            )
+        if self.partial_hosting is not None:
+            hosting = self.partial_hosting
+            if len(hosting) != self.num_replicas:
+                raise ConfigError(
+                    "partial_hosting needs one partition tuple per replica "
+                    f"(got {len(hosting)} for {self.num_replicas} replicas)"
+                )
+            for replica, hosted in enumerate(hosting):
+                if not hosted:
+                    raise ConfigError(
+                        f"partial_hosting: replica {replica} hosts no partitions"
+                    )
+                if tuple(sorted(set(hosted))) != tuple(hosted):
+                    raise ConfigError(
+                        f"partial_hosting: replica {replica}'s partitions must "
+                        "be sorted and unique"
+                    )
+                for partition in hosted:
+                    if not 0 <= partition < self.num_partitions:
+                        raise ConfigError(
+                            f"partial_hosting: replica {replica} hosts unknown "
+                            f"partition {partition}"
+                        )
+            if tuple(hosting[0]) != tuple(range(self.num_partitions)):
+                raise ConfigError(
+                    "partial_hosting: replica 0 must host every partition "
+                    "(it ships writesets for straddling transactions)"
+                )
+            if self.engine != "core":
+                raise ConfigError(
+                    "partial_hosting requires the core engine"
+                )
+            if self.fault_profile is not None:
+                raise ConfigError(
+                    "partial_hosting cannot be combined with fault injection"
+                )
+            if self.num_replicas < 2:
+                raise ConfigError(
+                    "partial_hosting needs num_replicas >= 2 (replica 0 "
+                    "already hosts everything)"
+                )
         # Imported lazily: repro.engines imports this module.
         from repro.engines import ENGINES
 

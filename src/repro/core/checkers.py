@@ -24,16 +24,21 @@ from repro.txn.transaction import Transaction
 
 
 def check_replica_consistency(cluster) -> None:
-    """Raise :class:`ConsistencyError` unless all replicas' stores match."""
-    fingerprints = cluster.replica_fingerprints()
-    reference = fingerprints[0]
-    for replica, prints in fingerprints.items():
-        if prints != reference:
-            diverged = [
-                partition
-                for partition, (a, b) in enumerate(zip(reference, prints))
-                if a != b
-            ]
+    """Raise :class:`ConsistencyError` unless all replicas' stores match.
+
+    Compared per partition against replica 0 (which hosts everything),
+    so partial-replication layouts — where replicas host different
+    partition subsets — are checked on exactly the hosted overlap.
+    """
+    catalog = cluster.catalog
+    for replica in range(1, cluster.config.num_replicas):
+        diverged = [
+            partition
+            for partition in catalog.hosted_partitions(replica)
+            if cluster.node(replica, partition).store.fingerprint()
+            != cluster.node(0, partition).store.fingerprint()
+        ]
+        if diverged:
             raise ConsistencyError(
                 f"replica {replica} diverged from replica 0 on partitions "
                 f"{diverged}"
@@ -133,6 +138,8 @@ def check_replica_prefix_consistency(cluster) -> int:
             )
         reference_seqs = set(reference.scheduler.execution_trace)
         for replica in range(1, cluster.config.num_replicas):
+            if not cluster.catalog.is_hosted(replica, partition):
+                continue  # partial replication: no such node
             peer = cluster.node(replica, partition)
             if set(peer.scheduler.execution_trace or ()) != reference_seqs:
                 continue  # lagging or ahead; nothing comparable yet

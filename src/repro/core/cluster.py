@@ -109,11 +109,15 @@ class CalvinCluster:
 
         self.sim = Simulator(sanitize=config.sanitize)
         self.rngs = RngStreams(config.seed)
-        self.network = Network(self.sim, self._build_topology())
         # Observability: a no-op recorder unless the caller wants spans
         # (zero overhead when off), and one registry for every component's
-        # tallies plus the transaction-outcome instruments.
+        # tallies plus the transaction-outcome instruments. Resolved
+        # before the network, which records HOP spans on geo topologies.
         self.tracer = tracer if tracer is not None else NULL_RECORDER
+        self.network = self._build_network()
+        # The geo topology, when one is configured (None on the flat
+        # point-to-point network).
+        self.geo = getattr(self.network, "geo", None)
         self.metrics_registry = MetricsRegistry()
         self.sim.register_metrics(self.metrics_registry)
         self.network.register_metrics(self.metrics_registry)
@@ -187,6 +191,30 @@ class CalvinCluster:
             tracer=self.tracer,
         )
 
+    def _build_network(self):
+        """Build the transport: the flat point-to-point network unless a
+        geo topology preset is configured (the backward-compatible seam —
+        flat configs never touch the geo code paths)."""
+        config = self.config
+        if config.topology is None:
+            return Network(self.sim, self._build_topology())
+        # Imported lazily: the flat path must not pay for (or depend on)
+        # the geo subsystem.
+        from repro.geo.network import GeoNetwork
+        from repro.geo.presets import build_geo_topology
+
+        geo = build_geo_topology(config)
+        network = GeoNetwork(self.sim, geo, tracer=self.tracer)
+        num_dcs = geo.num_datacenters
+        for node_id in self.catalog.nodes():
+            network.place(
+                ("node", node_id.replica, node_id.partition),
+                node_id.replica % num_dcs,
+            )
+        # Clients sit in datacenter 0 (the input site) unless
+        # client_placement="spread" moves them (see _place_client).
+        return network
+
     def _build_topology(self):
         config = self.config
         if config.num_replicas > 1:
@@ -235,8 +263,8 @@ class CalvinCluster:
         for key, value in data.items():
             per_partition.setdefault(self.catalog.partition_of(key), {})[key] = value
         for partition, chunk in per_partition.items():
-            for replica in range(self.config.num_replicas):
-                self.node(replica, partition).store.load_bulk(chunk)
+            for node_id in self.catalog.replicas_of_partition(partition):
+                self.nodes[node_id].store.load_bulk(chunk)
         self._initial_data.update(data)
 
     def load_workload_data(self) -> None:
@@ -314,7 +342,17 @@ class CalvinCluster:
                     )
                 self.clients.append(client)
                 created.append(client)
+                self._place_client(client, index)
         return created
+
+    def _place_client(self, client: Any, index: int) -> None:
+        """Geo-aware client placement: on a geo topology with
+        ``client_placement="spread"``, client ``i`` lives in datacenter
+        ``i % num_datacenters`` (its traffic to the input site crosses
+        the WAN). Default placement keeps every client in datacenter 0."""
+        if self.geo is None or self.config.client_placement != "spread":
+            return
+        self.network.place(client.address, index % self.geo.num_datacenters)
 
     def quiesce(self, timeout: float = 300.0, step: float = 0.05) -> None:
         """Run until all clients are done and all in-flight work drained.
@@ -343,13 +381,14 @@ class CalvinCluster:
                 )
                 for node in self.nodes.values()
             )
-            # Peer replicas must have re-executed everything replica 0
-            # finished (batches may still be crossing the WAN).
+            # Peer replicas must have re-executed (or applied) everything
+            # replica 0 finished (batches may still be crossing the WAN).
+            # Under partial replication only hosted partitions compare.
             replicas_aligned = all(
-                self.node(replica, partition).scheduler.completed
-                == self.node(0, partition).scheduler.completed
-                for replica in range(1, self.config.num_replicas)
-                for partition in range(self.config.num_partitions)
+                self.nodes[node_id].scheduler.completed
+                == self.node(0, node_id.partition).scheduler.completed
+                for node_id in self.catalog.nodes()
+                if node_id.replica != 0
             )
             if clients_idle and nodes_idle and replicas_aligned:
                 return
@@ -542,26 +581,26 @@ class CalvinCluster:
     # -- state inspection ---------------------------------------------------------
 
     def replica_fingerprints(self) -> Dict[int, Tuple[int, ...]]:
-        """Per-replica tuple of partition-store fingerprints."""
+        """Per-replica tuple of *hosted* partition-store fingerprints."""
         return {
             replica: tuple(
                 self.node(replica, p).store.fingerprint()
-                for p in range(self.config.num_partitions)
+                for p in self.catalog.hosted_partitions(replica)
             )
             for replica in range(self.config.num_replicas)
         }
 
     def final_state(self, replica: int = 0) -> Dict[Key, Any]:
-        """Union of all partition stores of one replica."""
+        """Union of the replica's hosted partition stores."""
         state: Dict[Key, Any] = {}
-        for partition in range(self.config.num_partitions):
+        for partition in self.catalog.hosted_partitions(replica):
             state.update(self.node(replica, partition).store.snapshot())
         return state
 
     def merged_log(self, replica: int = 0) -> List[LogEntry]:
-        """The replica's input log, merged across nodes, in global order."""
+        """The replica's input log (hosted origins), merged, global order."""
         entries: List[LogEntry] = []
-        for partition in range(self.config.num_partitions):
+        for partition in self.catalog.hosted_partitions(replica):
             entries.extend(self.node(replica, partition).input_log)
         entries.sort()
         return entries

@@ -15,10 +15,13 @@ from repro.errors import NetworkError, StorageError
 from repro.net.messages import (
     ClientSubmit,
     PrefetchRequest,
+    ReadOnlyQuery,
+    ReadOnlyReply,
     RemoteRead,
     ReplicaBatch,
     SubBatch,
     TxnReply,
+    WriteSetApply,
 )
 from repro.obs import CAT_NODE, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
@@ -208,10 +211,32 @@ class CalvinNode:
             for key in message.keys:
                 if self.engine.is_cold(key):
                     self.engine.fetch(key)
+        elif isinstance(message, WriteSetApply):
+            self.scheduler.receive_writeset(message)
+        elif isinstance(message, ReadOnlyQuery):
+            self.sim.process(self._serve_read_only(src, message))
         elif isinstance(message, TxnReply):  # pragma: no cover - defensive
             raise NetworkError(f"TxnReply misrouted to node {self.node_id}")
         else:
             raise NetworkError(f"unhandled message at {self.node_id}: {message!r}")
+
+    def _serve_read_only(self, client: Any, query: ReadOnlyQuery):
+        """Serve a replica-local read-only query from the current local
+        snapshot, outside the sequenced pipeline (no locks: Calvin's
+        determinism makes any committed prefix a consistent snapshot).
+        The reply carries the scheduler's epoch watermark so the client
+        can bound its staleness.
+        """
+        costs = self.config.costs
+        yield self.scheduler.workers.request()
+        yield self.sim.timeout(
+            costs.txn_base_cpu + costs.read_cpu * len(query.keys)
+        )
+        values = {key: self.store.get(key) for key in query.keys}
+        epoch = self.scheduler.next_epoch
+        self.scheduler.workers.release()
+        reply = ReadOnlyReply(query.query_id, self.node_id.partition, values, epoch)
+        self.send(client, reply, reply.size_estimate())
 
     # -- checkpointing (Section 5) -------------------------------------------------
 

@@ -1,0 +1,36 @@
+"""Geo-scale topology subsystem: datacenters, routed WAN links, partial
+replication, and replica-local reads.
+
+- **topology** — :class:`GeoTopology`: datacenters + directed links with
+  latency and shared bandwidth, deterministic link-state shortest-path
+  routing (versioned lazy route tables).
+- **bandwidth** — :class:`LinkChannel`: fair (processor-sharing)
+  capacity of one link; congestion becomes queueing delay.
+- **network** — :class:`GeoNetwork`: multi-hop store-and-forward
+  transport behind a strict backward-compatible seam over the flat
+  :class:`repro.sim.network.Network` (same-DC traffic is bit-identical).
+- **presets** — named topologies ("chain", "ring", "mesh", "hub")
+  buildable from a :class:`repro.config.ClusterConfig`.
+- **readonly** — :class:`ReadOnlyClient`: replica-local read-only
+  transactions with a measured staleness bound.
+
+See ``docs/geo.md`` for the model and its semantics.
+"""
+
+from repro.geo.bandwidth import LinkChannel
+from repro.geo.network import GeoNetwork
+from repro.geo.presets import GEO_PRESETS, build_geo_topology
+from repro.geo.readonly import ReadOnlyClient, add_read_clients
+from repro.geo.topology import Datacenter, GeoLink, GeoTopology
+
+__all__ = [
+    "Datacenter",
+    "GEO_PRESETS",
+    "GeoLink",
+    "GeoNetwork",
+    "GeoTopology",
+    "LinkChannel",
+    "ReadOnlyClient",
+    "add_read_clients",
+    "build_geo_topology",
+]

@@ -1,0 +1,234 @@
+"""Multi-hop, bandwidth-contended transport over a :class:`GeoTopology`.
+
+:class:`GeoNetwork` subclasses the flat :class:`repro.sim.network.Network`
+behind a strict seam: traffic between addresses placed in the *same*
+datacenter goes through the inherited flat fast path untouched (route
+cache, FIFO clamp, same-tick batch coalescing — byte-identical event
+sequences), while cross-datacenter traffic is routed hop by hop along
+the topology's deterministic shortest path, store-and-forward, with
+each hop's bytes drained through that link's shared
+:class:`~repro.geo.bandwidth.LinkChannel`.
+
+Ordering: the flat network promises TCP-like FIFO per directed address
+pair, and the scheduler's remote-read protocol and Paxos inherit that
+assumption. Fair bandwidth sharing can complete a small late message
+before a large early one, so the geo path adds a TCP-style reorder
+buffer: sends take a per-pair sequence number and final delivery is
+released strictly in send order (a blocked successor waits for its
+predecessor, head-of-line style). Fault verdicts keep the flat
+semantics: drop/hold are decided at send time; ``extra_delay`` lands
+*after* the FIFO release (deliberate reordering); ``copies`` fan out at
+delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from repro.geo.bandwidth import LinkChannel
+from repro.geo.topology import GeoTopology
+from repro.obs import CAT_NET, NULL_RECORDER, SpanKind
+from repro.sim.network import DELIVER, DeliveryVerdict, LinkSpec, Network, Topology
+
+Address = Hashable
+
+
+def _flat_equivalent(geo: GeoTopology) -> Topology:
+    """The flat topology the inherited same-DC fast path runs on.
+
+    Everything is "one site" from the base class's point of view: the
+    base class only ever sees same-DC traffic, which uses the LAN
+    profile (or the zero-cost local loopback).
+    """
+    lan = LinkSpec(latency=geo.lan_latency, bandwidth=geo.lan_bandwidth)
+    return Topology(local=LinkSpec(latency=0.0, bandwidth=None), intra_site=lan, inter_site=lan)
+
+
+class GeoNetwork(Network):
+    """Message transport with datacenter-level routing and contention."""
+
+    def __init__(self, sim, geo: GeoTopology, tracer=NULL_RECORDER):
+        super().__init__(sim, _flat_equivalent(geo))
+        self.geo = geo
+        self.tracer = tracer
+        self._tracing = tracer.enabled
+        # (src_dc, dst_dc) -> shared capacity of that directed link.
+        self._channels: Dict[Tuple[int, int], LinkChannel] = {}
+        # TCP-style per-pair reorder buffer (see module docstring).
+        self._pair_send_seq: Dict[Tuple[Address, Address], int] = {}
+        self._pair_next: Dict[Tuple[Address, Address], int] = {}
+        self._pair_ready: Dict[
+            Tuple[Address, Address], Dict[int, Tuple[Any, DeliveryVerdict]]
+        ] = {}
+        self._geo_last_arrival: Dict[Tuple[Address, Address], float] = {}
+        self.wan_messages = 0
+        self.wan_bytes = 0
+        self.hops_forwarded = 0
+        self.fifo_reorders = 0
+
+    def place(self, address: Address, dc_id: int) -> None:
+        """Pin ``address`` into a datacenter, in both the geo graph and
+        the inherited flat view (so same-DC link memoisation stays
+        coherent if placements ever move)."""
+        self.geo.place(address, dc_id)
+        self.topology.place(address, dc_id)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, src: Address, dst: Address, message: Any, size: int = 256) -> None:
+        geo = self.geo
+        src_dc = geo.dc_of(src)
+        dst_dc = geo.dc_of(dst)
+        if src_dc == dst_dc:
+            # Same datacenter: the inherited flat fast path, bit-for-bit.
+            super().send(src, dst, message, size)
+            return
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.wan_messages += 1
+        self.wan_bytes += size
+        verdict = DELIVER
+        if self.fault_filter is not None:
+            verdict = self.fault_filter(self.sim.now, src, dst, message, size)
+            if verdict.drop:
+                self.messages_dropped += 1
+                return
+            if verdict.hold:
+                self.messages_held += 1
+                return
+        path = geo.path(src_dc, dst_dc)
+        pair = (src, dst)
+        # Sequence numbers are allocated only for messages actually in
+        # flight — a dropped/held message must not stall its successors.
+        seq = self._pair_send_seq.get(pair, 0)
+        self._pair_send_seq[pair] = seq + 1
+        self._forward(pair, message, size, path, 0, verdict, seq)
+
+    def _forward(
+        self,
+        pair: Tuple[Address, Address],
+        message: Any,
+        size: int,
+        path: Tuple[int, ...],
+        index: int,
+        verdict: DeliveryVerdict,
+        seq: int,
+    ) -> None:
+        """Carry the message over link ``path[index] -> path[index+1]``:
+        drain its bytes through the shared channel, then propagate."""
+        hop_src, hop_dst = path[index], path[index + 1]
+        link = self.geo.link(hop_src, hop_dst)
+        channel = self._channel(hop_src, hop_dst)
+        self.hops_forwarded += 1
+        start = self.sim.now
+        sim = self.sim
+
+        def transferred() -> None:
+            sim.schedule(link.latency, arrived)
+
+        def arrived() -> None:
+            if self._tracing:
+                self.tracer.record(
+                    SpanKind.HOP,
+                    start,
+                    sim.now,
+                    cat=CAT_NET,
+                    detail=(hop_src, hop_dst),
+                )
+            if index + 2 < len(path):
+                self._forward(pair, message, size, path, index + 1, verdict, seq)
+            else:
+                self._arrived_at_destination(pair, message, verdict, seq)
+
+        channel.submit(size, transferred)
+
+    def _channel(self, src_dc: int, dst_dc: int) -> LinkChannel:
+        key = (src_dc, dst_dc)
+        link = self.geo.link(src_dc, dst_dc)
+        channel = self._channels.get(key)
+        if channel is None or channel.bandwidth != link.bandwidth:
+            # New link, or a setup-time capacity change: in-flight flows
+            # on a replaced channel finish at the old capacity.
+            channel = self._channels[key] = LinkChannel(
+                self.sim, link.bandwidth, f"dc{src_dc}-dc{dst_dc}"
+            )
+        return channel
+
+    # -- in-order delivery -------------------------------------------------
+
+    def _arrived_at_destination(
+        self,
+        pair: Tuple[Address, Address],
+        message: Any,
+        verdict: DeliveryVerdict,
+        seq: int,
+    ) -> None:
+        expected = self._pair_next.get(pair, 0)
+        if seq != expected:
+            # A later send finished its transfer first (fair sharing let
+            # it overtake); park it until its predecessors land.
+            self.fifo_reorders += 1
+        ready = self._pair_ready.setdefault(pair, {})
+        ready[seq] = (message, verdict)
+        while expected in ready:
+            msg, vd = ready.pop(expected)
+            expected += 1
+            self._release(pair, msg, vd)
+        self._pair_next[pair] = expected
+
+    def _release(
+        self, pair: Tuple[Address, Address], message: Any, verdict: DeliveryVerdict
+    ) -> None:
+        arrival = self.sim.now
+        previous = self._geo_last_arrival.get(pair)
+        if previous is not None and arrival <= previous:
+            arrival = previous + self._fifo_epsilon
+        self._geo_last_arrival[pair] = arrival
+        # As on the flat path: extra delay lands after the FIFO point and
+        # is not recorded, so reordering faults stay expressible.
+        if verdict.extra_delay > 0:
+            self.messages_delayed += 1
+            arrival += verdict.extra_delay
+        if verdict.copies > 1:
+            self.messages_duplicated += verdict.copies - 1
+        src, dst = pair
+        for copy in range(max(1, verdict.copies)):
+            self.sim.schedule_at(
+                arrival + copy * self._fifo_epsilon, self._deliver, src, dst, message
+            )
+
+    # -- metrics -----------------------------------------------------------
+
+    def _channel_stat(self, key: Tuple[int, int], attr: str) -> float:
+        channel = self._channels.get(key)
+        return getattr(channel, attr) if channel is not None else 0.0
+
+    def _utilization(self, key: Tuple[int, int]) -> float:
+        channel = self._channels.get(key)
+        if channel is None or self.sim.now <= 0:
+            return 0.0
+        return channel.busy_time / self.sim.now
+
+    def register_metrics(self, registry, prefix: str = "net") -> None:
+        super().register_metrics(registry, prefix)
+        registry.gauge(f"{prefix}.wan_messages", lambda: self.wan_messages)
+        registry.gauge(f"{prefix}.wan_bytes", lambda: self.wan_bytes)
+        registry.gauge(f"{prefix}.hops_forwarded", lambda: self.hops_forwarded)
+        registry.gauge(f"{prefix}.fifo_reorders", lambda: self.fifo_reorders)
+        for link in self.geo.links():
+            key = (link.src, link.dst)
+            name = f"{prefix}.link.dc{link.src}-dc{link.dst}"
+            registry.gauge(
+                f"{name}.bytes", lambda k=key: self._channel_stat(k, "bytes_carried")
+            )
+            registry.gauge(
+                f"{name}.flows", lambda k=key: self._channel_stat(k, "flows_completed")
+            )
+            registry.gauge(
+                f"{name}.busy_time", lambda k=key: self._channel_stat(k, "busy_time")
+            )
+            registry.gauge(
+                f"{name}.queueing_delay",
+                lambda k=key: self._channel_stat(k, "queueing_delay"),
+            )
+            registry.gauge(f"{name}.utilization", lambda k=key: self._utilization(k))

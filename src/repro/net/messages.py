@@ -113,6 +113,51 @@ class StarRelease:
 
 
 @dataclass(frozen=True, slots=True)
+class WriteSetApply:
+    """Replica-0 active participant → peer-replica participant hosting
+    the same partition (partial replication only): the deterministic
+    outcome of a transaction the peer cannot re-execute because it does
+    not host every participant. ``writes`` may carry DELETED sentinels;
+    an aborted transaction ships ``committed=False`` so the peer's
+    sequence slot still completes (deterministic abort)."""
+
+    seq: GlobalSeq
+    from_partition: int
+    committed: bool
+    writes: Dict[Key, Any]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _RECORD_WIRE_SIZE * max(1, len(self.writes))
+
+
+@dataclass(frozen=True, slots=True)
+class ReadOnlyQuery:
+    """Read-only client → replica node: serve these keys from the local
+    snapshot, outside the sequenced pipeline (replica-local reads)."""
+
+    query_id: int
+    keys: Tuple[Key, ...]
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + 24 * max(1, len(self.keys))
+
+
+@dataclass(frozen=True, slots=True)
+class ReadOnlyReply:
+    """Replica node → read-only client: values plus the node's current
+    epoch watermark (the client derives its staleness bound from the
+    minimum watermark across per-partition replies)."""
+
+    query_id: int
+    from_partition: int
+    values: Dict[Key, Any]
+    epoch: int
+
+    def size_estimate(self) -> int:
+        return _HEADER_SIZE + _RECORD_WIRE_SIZE * max(1, len(self.values))
+
+
+@dataclass(frozen=True, slots=True)
 class TxnReply:
     """Reply partition → client: terminal result of one attempt."""
 

@@ -27,11 +27,20 @@ from repro.obs.export import (
 )
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 from repro.obs.registry import Gauge, MetricsRegistry
-from repro.obs.spans import CAT_DEVICE, CAT_EPOCH, CAT_NODE, CAT_TXN, Span, SpanKind
+from repro.obs.spans import (
+    CAT_DEVICE,
+    CAT_EPOCH,
+    CAT_NET,
+    CAT_NODE,
+    CAT_TXN,
+    Span,
+    SpanKind,
+)
 
 __all__ = [
     "CAT_DEVICE",
     "CAT_EPOCH",
+    "CAT_NET",
     "CAT_NODE",
     "CAT_TXN",
     "Gauge",

@@ -49,6 +49,9 @@ class SpanKind(enum.Enum):
     # One STAR execution phase (partitioned or single-master) on the
     # phase controller's node; detail carries the phase name.
     PHASE = "phase"
+    # One WAN hop of a routed message between datacenters (geo
+    # topologies only); detail carries the (src_dc, dst_dc) link.
+    HOP = "hop"
 
     def __str__(self) -> str:  # pragma: no cover - presentation
         return self.value
@@ -59,6 +62,7 @@ CAT_TXN = "txn"        # one transaction on one node
 CAT_EPOCH = "epoch"    # one epoch batch (sequence-order plumbing)
 CAT_DEVICE = "device"  # a storage device operation
 CAT_NODE = "node"      # node-scoped background work (checkpoints)
+CAT_NET = "net"        # network transport (WAN hops on geo topologies)
 
 
 @dataclass(frozen=True)

@@ -2,12 +2,18 @@
 
 A node is identified by ``NodeId(replica, partition)``. Network
 addresses are small tuples so they stay hashable and debuggable.
+
+Partial replication (``ClusterConfig.partial_hosting``) makes the
+layout *sparse*: a replica may host only a subset of partitions, so
+``nodes()``, ``replicas_of_partition()`` and friends all consult the
+hosting map. Under full replication (the default) every hosting query
+degenerates to the dense ``range`` answer, byte for byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.config import ClusterConfig
 from repro.errors import ConfigError
@@ -48,6 +54,19 @@ class Catalog:
         # partition_of dominates profiles (CRC32 over repr per call);
         # workloads draw from bounded key sets, so memoise per catalog.
         self._partition_cache: Dict[Key, int] = {}
+        # Partial replication: per-replica hosted-partition sets (None =
+        # full replication). Frozensets answer membership, the sorted
+        # tuples answer deterministic iteration.
+        if config.partial_hosting is None:
+            self._hosting: Optional[Tuple[FrozenSet[int], ...]] = None
+            self._hosted_sorted: Optional[Tuple[Tuple[int, ...], ...]] = None
+        else:
+            self._hosting = tuple(
+                frozenset(hosted) for hosted in config.partial_hosting
+            )
+            self._hosted_sorted = tuple(
+                tuple(hosted) for hosted in config.partial_hosting
+            )
 
     @property
     def num_partitions(self) -> int:
@@ -57,18 +76,63 @@ class Catalog:
     def num_replicas(self) -> int:
         return self.config.num_replicas
 
+    @property
+    def partial(self) -> bool:
+        """True when some replica hosts only a subset of partitions."""
+        return self._hosting is not None
+
+    def hosting_of(self, replica: int) -> Optional[FrozenSet[int]]:
+        """The partitions ``replica`` hosts, or None for "all of them"."""
+        if self._hosting is None:
+            return None
+        return self._hosting[replica]
+
+    def hosted_partitions(self, replica: int) -> Sequence[int]:
+        """Sorted partitions hosted by ``replica`` (a ``range`` when full)."""
+        if self._hosted_sorted is None:
+            return range(self.num_partitions)
+        return self._hosted_sorted[replica]
+
+    def is_hosted(self, replica: int, partition: int) -> bool:
+        if self._hosting is None:
+            return True
+        return partition in self._hosting[replica]
+
     def nodes(self) -> Iterator[NodeId]:
-        """All nodes, replica-major (replica 0 first)."""
+        """All *existing* nodes, replica-major (replica 0 first)."""
         for replica in range(self.num_replicas):
-            for partition in range(self.num_partitions):
+            for partition in self.hosted_partitions(replica):
                 yield NodeId(replica, partition)
 
     def nodes_of_replica(self, replica: int) -> List[NodeId]:
-        return [NodeId(replica, p) for p in range(self.num_partitions)]
+        return [NodeId(replica, p) for p in self.hosted_partitions(replica)]
 
     def replicas_of_partition(self, partition: int) -> List[NodeId]:
-        """The same partition across every replica (a Paxos group)."""
-        return [NodeId(r, partition) for r in range(self.num_replicas)]
+        """The same partition across every replica *hosting* it (a Paxos
+        group; under partial replication the group shrinks to hosts)."""
+        return [
+            NodeId(r, partition)
+            for r in range(self.num_replicas)
+            if self.is_hosted(r, partition)
+        ]
+
+    def writeset_targets(self, partition: int, participants) -> Tuple[int, ...]:
+        """Peer replicas that need a shipped writeset for ``partition``.
+
+        A replica re-executes a multipartition transaction only when it
+        hosts *all* participants; a replica hosting ``partition`` but
+        missing some participant cannot re-execute (it lacks the remote
+        reads) and instead applies the writeset shipped by replica 0.
+        Empty under full replication.
+        """
+        if self._hosting is None:
+            return ()
+        return tuple(
+            replica
+            for replica in range(1, self.num_replicas)
+            if partition in self._hosting[replica]
+            and not participants <= self._hosting[replica]
+        )
 
     def partition_of(self, key: Key) -> int:
         cache = self._partition_cache

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, TYPE_CHECKING
 
 from repro.errors import TransactionAborted
-from repro.net.messages import RemoteRead, TxnReply
+from repro.net.messages import RemoteRead, TxnReply, WriteSetApply
 from repro.obs import SpanKind
 from repro.partition.catalog import NodeId, node_address
 from repro.partition.partitioner import sorted_keys
@@ -44,6 +44,15 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     # Phase 1 — read/write set analysis.
     participants = txn.participants(catalog)
     multipartition = len(participants) > 1
+    if multipartition and sched.node_id.replica != 0:
+        # Partial replication: a replica that does not host every
+        # participant cannot re-execute (the remote reads it would need
+        # live on partitions it doesn't have); it applies the writeset
+        # replica 0 ships instead (deferred-update replication).
+        hosted = catalog.hosting_of(sched.node_id.replica)
+        if hosted is not None and not participants <= hosted:
+            yield from apply_replicated(sched, stxn)
+            return
     if multipartition:
         local_read_keys = sorted_keys(
             key for key in txn.read_set if catalog.partition_of(key) == mine
@@ -182,6 +191,20 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     if status is TxnStatus.COMMITTED and local_writes:
         sched.engine.store.apply_writes(local_writes, context.deleted)
 
+    if multipartition and catalog.partial and sched.node_id.replica == 0:
+        # Ship this partition's deterministic outcome to peer replicas
+        # that host it but cannot re-execute the transaction. Aborts
+        # and restarts ship too (committed=False, empty writes): the
+        # peer's sequence slot must still complete.
+        targets = catalog.writeset_targets(mine, participants)
+        if targets:
+            message = WriteSetApply(
+                seq, mine, status is TxnStatus.COMMITTED, dict(local_writes)
+            )
+            for peer in targets:
+                target = NodeId(peer, mine)
+                sched.send(node_address(target), message, message.size_estimate())
+
     result = TransactionResult(
         txn_id=txn.txn_id,
         status=status,
@@ -206,3 +229,62 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
         reply = TxnReply(report)
         sched.send(txn.client, reply, reply.size_estimate())
     sched.finish_txn(stxn, report, passive=False)
+
+
+def apply_replicated(sched: "Scheduler", stxn: SequencedTxn):
+    """Apply mode (partial replication): execute a transaction slice this
+    replica cannot recompute, from the writeset replica 0 shipped.
+
+    Entered with the local locks granted, so writes still land in global
+    sequence order — determinism is preserved, only the computation is
+    delegated. A passive slice (no local writes possible) just pays the
+    bookkeeping cost; an active slice waits for the writeset — locks
+    held, no worker consumed — then applies it.
+    """
+    sim = sched.sim
+    costs = sched.config.costs
+    catalog = sched.catalog
+    txn = stxn.txn
+    seq = stxn.seq
+    mine = sched.node_id.partition
+    tracer = sched.tracer
+    replica, txn_id = sched.node_id.replica, txn.txn_id
+
+    active = txn.active_participants(catalog)
+    if mine not in active:
+        # No writes can land on a passive participant; nothing to wait for.
+        yield sched.workers.request()
+        yield sim.timeout(costs.txn_base_cpu)
+        sched.workers.release()
+        sched.finish_txn(stxn, None, passive=True)
+        return
+
+    message = sched.writeset_for(seq)
+    if message is None:
+        wait_start = sim.now
+        while message is None:
+            yield sched.writeset_arrival(seq)
+            message = sched.writeset_for(seq)
+        if tracer.enabled:
+            tracer.record(
+                SpanKind.REMOTE_READ_WAIT, wait_start, sim.now,
+                replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                detail="writeset",
+            )
+
+    yield sched.workers.request()
+    apply_start = sim.now
+    cpu = costs.txn_base_cpu + costs.write_cpu * len(message.writes)
+    yield sim.timeout(cpu)
+    if message.committed and message.writes:
+        # DELETED sentinels ride inside the writes dict, exactly as in
+        # a local apply.
+        sched.engine.store.apply_writes(message.writes, True)
+    if tracer.enabled:
+        tracer.record(
+            SpanKind.APPLY, apply_start, sim.now,
+            replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+            detail="replicated",
+        )
+    sched.workers.release()
+    sched.finish_txn(stxn, None, passive=False)

@@ -20,7 +20,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, TYPE_CHECKIN
 
 from repro.config import ClusterConfig
 from repro.errors import SchedulerError
-from repro.net.messages import RemoteRead, SubBatch
+from repro.net.messages import RemoteRead, SubBatch, WriteSetApply
 from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.partition.partitioner import stable_hash
@@ -104,6 +104,12 @@ class Scheduler:
         # Remote-read mailbox: seq -> {from_partition: values}.
         self._mailbox: Dict[GlobalSeq, Dict[int, Dict]] = {}
         self._mailbox_waiters: Dict[GlobalSeq, List[Event]] = {}
+        # Writeset mailbox (partial replication): deterministic outcomes
+        # shipped by replica 0 for transactions this replica cannot
+        # re-execute because it does not host every participant (see
+        # executor.apply_replicated). Arrivals may precede admission.
+        self._writesets: Dict[GlobalSeq, WriteSetApply] = {}
+        self._writeset_waiters: Dict[GlobalSeq, List[Event]] = {}
         # Fault-tolerance aid (enabled by the fault injector): remember
         # every served remote read and every finished seq, so a restarted
         # peer can be re-served reads that were lost while it was down.
@@ -355,6 +361,8 @@ class Scheduler:
             self._lock_shards[index].release(stxn)
         self._mailbox.pop(stxn.seq, None)
         self._mailbox_waiters.pop(stxn.seq, None)
+        self._writesets.pop(stxn.seq, None)
+        self._writeset_waiters.pop(stxn.seq, None)
         if self.retain_remote_reads:
             self._finished_seqs.add(stxn.seq)
         self.completed += 1
@@ -419,6 +427,26 @@ class Scheduler:
         """An event that triggers on the next remote-read arrival for ``seq``."""
         event = Event(self.sim)
         self._mailbox_waiters.setdefault(seq, []).append(event)
+        return event
+
+    # -- writesets (partial replication) -----------------------------------
+
+    def receive_writeset(self, message: WriteSetApply) -> None:
+        """Stash a shipped writeset; may arrive before the transaction is
+        admitted locally (the mailbox bridges the gap)."""
+        self._writesets[message.seq] = message
+        waiters = self._writeset_waiters.pop(message.seq, None)
+        if waiters:
+            for event in waiters:
+                event.succeed()
+
+    def writeset_for(self, seq: GlobalSeq) -> Optional[WriteSetApply]:
+        return self._writesets.get(seq)
+
+    def writeset_arrival(self, seq: GlobalSeq) -> Event:
+        """An event that triggers when the writeset for ``seq`` arrives."""
+        event = Event(self.sim)
+        self._writeset_waiters.setdefault(seq, []).append(event)
         return event
 
     def fast_forward(self, epoch: int) -> None:

@@ -274,10 +274,26 @@ class Sequencer:
         delay = len(txns) * self.config.costs.sequencer_cpu_per_txn
         replica = self.node_id.replica
         calls = []
-        for partition in range(self.catalog.num_partitions):
+        for partition in self.catalog.hosted_partitions(replica):
             message = SubBatch(epoch, origin, tuple(per_partition[partition]))
             address = node_address(NodeId(replica, partition))
             calls.append((self.send, (address, message, message.size_estimate())))
+        if self.catalog.partial and replica == 0:
+            # Partial replication: a peer replica not hosting this origin
+            # partition has no sequencer in origin's Paxos group, so it
+            # never sees this batch — replica 0's origin sequencer ships
+            # the per-partition slices to every scheduler the peer *does*
+            # host. Empty slices included: the epoch barrier counts one
+            # SubBatch per origin per epoch.
+            for peer in range(1, self.catalog.num_replicas):
+                if self.catalog.is_hosted(peer, origin):
+                    continue  # the peer's own (peer, origin) node dispatches
+                for partition in self.catalog.hosted_partitions(peer):
+                    message = SubBatch(epoch, origin, tuple(per_partition[partition]))
+                    address = node_address(NodeId(peer, partition))
+                    calls.append(
+                        (self.send, (address, message, message.size_estimate()))
+                    )
         self.sim.schedule_many(self._owner, delay, calls)
 
     def resend_to(self, partition: int, from_epoch: int = 0) -> int:

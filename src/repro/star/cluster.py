@@ -36,7 +36,12 @@ class StarCluster(CalvinCluster):
 
     def __init__(self, config: ClusterConfig, **kwargs):
         if config.num_replicas != 1:
-            raise ConfigError("the star engine models a single replica")
+            raise ConfigError(
+                "the star engine models a single replica "
+                f"(got num_replicas={config.num_replicas}): its phase "
+                "switching assumes one copy of every partition; see "
+                "docs/engines.md#limitations"
+            )
         if config.disk_enabled:
             raise ConfigError("the star engine does not support disk storage yet")
         if config.checkpoint_mode != "none":

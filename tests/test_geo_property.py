@@ -1,0 +1,162 @@
+"""Property tests: bandwidth-sharing conservation and routing minimality."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoTopology, LinkChannel
+from repro.sim import Simulator
+
+# -- bandwidth sharing ------------------------------------------------------
+
+_FLOWS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=20_000),  # size in bytes
+        st.integers(min_value=0, max_value=50),      # start tick (ms)
+    ),
+    min_size=1,
+    max_size=8,
+)
+_BANDWIDTHS = st.sampled_from([1e4, 1e6, 1e9, 1e12])
+
+
+def _run_channel(flows, bandwidth):
+    """Submit every flow at its start tick; return completion times."""
+    sim = Simulator()
+    channel = LinkChannel(sim, bandwidth, "prop")
+    completions = {}
+    for index, (size, start_ms) in enumerate(flows):
+        def finish(index=index):
+            completions[index] = sim.now
+
+        sim.schedule_at(start_ms * 1e-3, channel.submit, size, finish)
+    sim.run(max_events=100_000)
+    return channel, completions
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(flows=_FLOWS, bandwidth=_BANDWIDTHS)
+def test_bandwidth_sharing_conserves_capacity(flows, bandwidth):
+    channel, completions = _run_channel(flows, bandwidth)
+    # Every flow completes, and the books balance.
+    assert len(completions) == len(flows)
+    assert channel.active_flows == 0
+    assert channel.flows_completed == len(flows)
+    assert channel.bytes_carried == sum(size for size, _ in flows)
+    # Conservation: the link can never carry more than capacity x the
+    # time it was busy (one byte of epsilon slack per completed flow).
+    assert channel.bytes_carried <= bandwidth * channel.busy_time + len(flows)
+    for index, (size, start_ms) in enumerate(flows):
+        # No flow finishes faster than its solo transfer time.
+        solo = start_ms * 1e-3 + size / bandwidth
+        assert completions[index] >= solo - 1e-9
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(flows=_FLOWS, bandwidth=_BANDWIDTHS)
+def test_bandwidth_sharing_is_deterministic(flows, bandwidth):
+    # Same submissions, two independent simulators: identical completion
+    # instants for every flow (the trace digests rely on this).
+    _, first = _run_channel(flows, bandwidth)
+    _, second = _run_channel(flows, bandwidth)
+    assert first == second
+
+
+# -- routing ----------------------------------------------------------------
+
+_LATENCIES = st.sampled_from([0.005, 0.01, 0.02, 0.04])
+
+
+@st.composite
+def _graphs(draw):
+    """A connected graph on 3..6 datacenters: a chain backbone plus a
+    random subset of extra bilateral links with random latencies."""
+    num_dcs = draw(st.integers(min_value=3, max_value=6))
+    links = []
+    for dc in range(num_dcs - 1):
+        links.append((dc, dc + 1, draw(_LATENCIES)))
+    extras = [
+        (src, dst)
+        for src in range(num_dcs)
+        for dst in range(src + 2, num_dcs)
+    ]
+    for src, dst in extras:
+        if draw(st.booleans()):
+            links.append((src, dst, draw(_LATENCIES)))
+    return num_dcs, links
+
+
+def _build(num_dcs, links):
+    topo = GeoTopology()
+    for dc in range(num_dcs):
+        topo.add_datacenter(dc)
+    for src, dst, latency in links:
+        topo.add_link(src, dst, latency)
+    return topo
+
+
+def _brute_force_min_latency(num_dcs, links, src, dst):
+    """Minimum total latency over every simple path, by exhaustive DFS."""
+    adjacency = {dc: [] for dc in range(num_dcs)}
+    for a, b, latency in links:
+        adjacency[a].append((b, latency))
+        adjacency[b].append((a, latency))
+    best = [float("inf")]
+
+    def visit(vertex, cost, seen):
+        if cost >= best[0]:
+            return
+        if vertex == dst:
+            best[0] = cost
+            return
+        for peer, latency in adjacency[vertex]:
+            if peer not in seen:
+                visit(peer, cost + latency, seen | {peer})
+
+    visit(src, 0.0, {src})
+    return best[0]
+
+
+@settings(
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graph=_graphs())
+def test_routing_is_latency_minimal(graph):
+    num_dcs, links = graph
+    topo = _build(num_dcs, links)
+    for src in range(num_dcs):
+        for dst in range(num_dcs):
+            routed = topo.path_latency(src, dst)
+            optimal = _brute_force_min_latency(num_dcs, links, src, dst)
+            assert routed == optimal
+            # The returned path is well-formed and costs what it claims.
+            path = topo.path(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(set(path)) == len(path)  # simple: no vertex twice
+            total = sum(
+                topo.link(path[i], path[i + 1]).latency
+                for i in range(len(path) - 1)
+            )
+            assert total == routed
+
+
+@settings(
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graph=_graphs(), data=st.data())
+def test_routing_independent_of_insertion_order(graph, data):
+    num_dcs, links = graph
+    reference = _build(num_dcs, links)
+    shuffled = data.draw(st.permutations(links))
+    reordered = _build(num_dcs, shuffled)
+    for src in range(num_dcs):
+        for dst in range(num_dcs):
+            assert reference.path(src, dst) == reordered.path(src, dst)
+            assert reference.path_latency(src, dst) == reordered.path_latency(
+                src, dst
+            )

@@ -38,6 +38,11 @@ GOLDEN_STAR = (
     1517,
     80,   # same commit count as GOLDEN_CALVIN: same schedule, same effects
 )
+GOLDEN_GEO = (
+    "7536cd7faa29539d178f545f07e5f20f66d944f46f8d3e379f35902a3007f7dc",
+    7856,
+    80,   # same commit count again: geo transport moves time, not effects
+)
 
 
 def _workload():
@@ -95,6 +100,32 @@ def test_golden_star_digest():
     cluster.quiesce()
     observed = (tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed)
     assert observed == GOLDEN_STAR
+
+
+def test_golden_geo_digest():
+    # Geo ring with partial replication: the digest additionally covers
+    # multi-hop routing, per-link bandwidth sharing, HOP spans, the
+    # hosting-aware Paxos groups and deferred writeset shipping.
+    from repro.core import checkers
+    from repro.core.traffic import ClientProfile
+
+    tracer = TraceRecorder()
+    config = ClusterConfig(
+        num_partitions=2,
+        num_replicas=3,
+        replication_mode="paxos",
+        topology="ring",
+        partial_hosting=((0, 1), (0,), (1,)),
+        seed=2012,
+    )
+    cluster = CalvinCluster(config, workload=_workload(), tracer=tracer)
+    cluster.load_workload_data()
+    cluster.add_clients(ClientProfile(per_partition=4, max_txns=10))
+    cluster.run(duration=0.6)
+    cluster.quiesce()
+    checkers.check_replica_consistency(cluster)
+    observed = (tracer.digest(), cluster.sim.events_executed, cluster.metrics.committed)
+    assert observed == GOLDEN_GEO
 
 
 def test_golden_chaos_digest():

@@ -133,7 +133,13 @@ def test_fraction_defaults_to_zero_before_any_batch():
 def test_star_rejects_multiple_replicas():
     config = ClusterConfig(num_partitions=2, num_replicas=2,
                            replication_mode="paxos", engine="star")
-    with pytest.raises(ConfigError, match="single replica"):
+    # Pinned: the message must name the constraint, echo the offending
+    # value, and point at the limitations doc.
+    with pytest.raises(
+        ConfigError,
+        match=r"single replica \(got num_replicas=2\).*"
+              r"docs/engines\.md#limitations",
+    ):
         build_cluster(config, workload=_micro())
 
 
