@@ -1,0 +1,565 @@
+/* The compiled dispatch core: the Simulator's two drain loops in C.
+ *
+ * This module is the tier-0 accelerated kernel path (see
+ * docs/performance.md).  It re-implements `Simulator.run` and
+ * `Simulator.run_until_triggered` — the hottest loops in the repository
+ * — with the heap sift inlined, eliminating the interpreter overhead of
+ * the loop itself (peek, pop, time bookkeeping, suspend check, budget
+ * guard).  Event handlers remain ordinary Python callables.
+ *
+ * The contract is *bit-identical* behaviour: every branch below mirrors
+ * the pure-Python loop in repro/sim/kernel.py line for line, the heap
+ * pop copies CPython heapq's exact sift algorithm (so the heap's
+ * internal layout — and therefore every subsequent pop — matches what
+ * heapq.heappop would have produced), and `sim.now` is assigned the
+ * *same objects* the Python loop assigns.  The golden trace digests in
+ * tests/test_accel.py assert the equivalence for every golden row.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* Cached attribute/interned names (created once at module init). */
+static PyObject *str_now;
+static PyObject *str_heap;
+static PyObject *str_suspended;
+static PyObject *str_parked;
+static PyObject *str_events_executed;
+static PyObject *str_triggered;
+static PyObject *str_callbacks;
+
+/* repro.errors.SimulationError, resolved lazily on first use. */
+static PyObject *simulation_error = NULL;
+
+static PyObject *
+get_simulation_error(void)
+{
+    if (simulation_error == NULL) {
+        PyObject *module = PyImport_ImportModule("repro.errors");
+        if (module == NULL)
+            return NULL;
+        simulation_error = PyObject_GetAttrString(module, "SimulationError");
+        Py_DECREF(module);
+    }
+    return simulation_error;
+}
+
+/* entry_lt(a, b): `a < b` for two heap entries.
+ *
+ * Entries are `(time, seq, fn, args, owner)` tuples with unique integer
+ * seq, so lexicographic comparison always resolves within the first two
+ * items — the fast path compares a pair of C doubles and a pair of
+ * longs.  Anything unexpected falls back to PyObject_RichCompareBool on
+ * the full tuples, which is exactly what heapq does.
+ * Returns 1 / 0, or -1 on error. */
+static int
+entry_lt(PyObject *a, PyObject *b)
+{
+    if (PyTuple_CheckExact(a) && PyTuple_CheckExact(b) &&
+        PyTuple_GET_SIZE(a) >= 2 && PyTuple_GET_SIZE(b) >= 2) {
+        PyObject *ta = PyTuple_GET_ITEM(a, 0);
+        PyObject *tb = PyTuple_GET_ITEM(b, 0);
+        if (PyFloat_CheckExact(ta) && PyFloat_CheckExact(tb)) {
+            double da = PyFloat_AS_DOUBLE(ta);
+            double db = PyFloat_AS_DOUBLE(tb);
+            /* Scheduled times are never NaN (delay >= 0 is enforced), so
+             * trichotomy holds and this matches float.__lt__. */
+            if (da < db)
+                return 1;
+            if (da > db)
+                return 0;
+            PyObject *sa = PyTuple_GET_ITEM(a, 1);
+            PyObject *sb = PyTuple_GET_ITEM(b, 1);
+            if (PyLong_CheckExact(sa) && PyLong_CheckExact(sb)) {
+                int overflow_a, overflow_b;
+                long la = PyLong_AsLongAndOverflow(sa, &overflow_a);
+                long lb = PyLong_AsLongAndOverflow(sb, &overflow_b);
+                if (!overflow_a && !overflow_b && (la != -1 || !PyErr_Occurred()))
+                    return la < lb;
+                PyErr_Clear();
+            }
+        }
+    }
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+/* _siftup / _siftdown: verbatim ports of CPython heapq's C algorithm.
+ * The layout the heap is left in (not just the popped item) must match
+ * the reference implementation, because later pushes interleave. */
+static int
+siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int cmp = entry_lt(newitem, parent);
+        if (cmp < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!cmp)
+            break;
+        Py_INCREF(parent);
+        PyObject *old = PyList_GET_ITEM(heap, pos);
+        PyList_SET_ITEM(heap, pos, parent);
+        Py_DECREF(old);
+        pos = parentpos;
+    }
+    PyObject *old = PyList_GET_ITEM(heap, pos);
+    PyList_SET_ITEM(heap, pos, newitem);
+    Py_DECREF(old);
+    return 0;
+}
+
+static int
+siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t startpos = pos;
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    /* Bubble the smaller child up until hitting a leaf. */
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int cmp = entry_lt(PyList_GET_ITEM(heap, childpos),
+                               PyList_GET_ITEM(heap, rightpos));
+            if (cmp < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (!cmp)
+                childpos = rightpos;
+            /* The list must not have shrunk under the comparison. */
+            if (endpos != PyList_GET_SIZE(heap)) {
+                Py_DECREF(newitem);
+                PyErr_SetString(PyExc_RuntimeError,
+                                "list changed size during iteration");
+                return -1;
+            }
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        PyObject *old = PyList_GET_ITEM(heap, pos);
+        PyList_SET_ITEM(heap, pos, child);
+        Py_DECREF(old);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    /* The leaf at pos is empty now.  Put newitem there and bubble it up
+     * to its final resting place (by sifting its parents down). */
+    PyObject *old = PyList_GET_ITEM(heap, pos);
+    PyList_SET_ITEM(heap, pos, newitem);
+    Py_DECREF(old);
+    return siftdown(heap, startpos, pos);
+}
+
+/* heappop(heap) — identical to heapq.heappop.  Returns a new reference,
+ * NULL on error.  The heap is known non-empty. */
+static PyObject *
+heappop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap) - 1;
+    PyObject *lastelt = PyList_GET_ITEM(heap, n);
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n, n + 1, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    if (n == 0)
+        return lastelt;
+    PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+    PyList_SET_ITEM(heap, 0, lastelt);  /* steals our lastelt ref */
+    if (siftup(heap, 0) < 0) {
+        /* heap is in a valid (if partially sifted) state; propagate. */
+        return NULL;
+    }
+    return returnitem;  /* we own the ref PyList_SET_ITEM displaced */
+}
+
+/* Park `(fn, args)` under `owner` in sim._parked (dict of lists),
+ * mirroring `self._parked.setdefault(owner, []).append((fn, args))`. */
+static int
+park_entry(PyObject *sim, PyObject *owner, PyObject *fn, PyObject *args)
+{
+    int status = -1;
+    PyObject *parked = PyObject_GetAttr(sim, str_parked);
+    if (parked == NULL)
+        return -1;
+    PyObject *bucket = PyDict_GetItemWithError(parked, owner);  /* borrowed */
+    if (bucket == NULL) {
+        if (PyErr_Occurred())
+            goto done;
+        PyObject *fresh = PyList_New(0);
+        if (fresh == NULL)
+            goto done;
+        if (PyDict_SetItem(parked, owner, fresh) < 0) {
+            Py_DECREF(fresh);
+            goto done;
+        }
+        Py_DECREF(fresh);
+        bucket = PyDict_GetItemWithError(parked, owner);
+        if (bucket == NULL)
+            goto done;
+    }
+    PyObject *pair = PyTuple_Pack(2, fn, args);
+    if (pair == NULL)
+        goto done;
+    status = PyList_Append(bucket, pair);
+    Py_DECREF(pair);
+done:
+    Py_DECREF(parked);
+    return status;
+}
+
+/* Add `executed` to sim.events_executed (plain int attribute). */
+static int
+flush_executed(PyObject *sim, long long executed)
+{
+    PyObject *current = PyObject_GetAttr(sim, str_events_executed);
+    if (current == NULL)
+        return -1;
+    PyObject *delta = PyLong_FromLongLong(executed);
+    if (delta == NULL) {
+        Py_DECREF(current);
+        return -1;
+    }
+    PyObject *total = PyNumber_Add(current, delta);
+    Py_DECREF(current);
+    Py_DECREF(delta);
+    if (total == NULL)
+        return -1;
+    int status = PyObject_SetAttr(sim, str_events_executed, total);
+    Py_DECREF(total);
+    return status;
+}
+
+static int
+raise_budget_exceeded(PyObject *max_events)
+{
+    PyObject *error = get_simulation_error();
+    if (error == NULL)
+        return -1;
+    PyObject *message = PyUnicode_FromFormat(
+        "simulation exceeded max_events=%S; likely a livelock in the model",
+        max_events);
+    if (message == NULL)
+        return -1;
+    PyErr_SetObject(error, message);
+    Py_DECREF(message);
+    return -1;
+}
+
+/* Dispatch one popped entry.  Returns 1 when the handler ran, 0 when
+ * the entry was parked (suspended owner), -1 on error.  Consumes
+ * nothing; `entry` stays owned by the caller. */
+static int
+dispatch(PyObject *sim, PyObject *suspended, PyObject *entry)
+{
+    /* self.now = entry[0] — the same float object Python would assign. */
+    if (PyObject_SetAttr(sim, str_now, PyTuple_GET_ITEM(entry, 0)) < 0)
+        return -1;
+    if (PySet_GET_SIZE(suspended) > 0) {
+        PyObject *owner = PyTuple_GET_ITEM(entry, 4);
+        if (owner != Py_None) {
+            int contains = PySet_Contains(suspended, owner);
+            if (contains < 0)
+                return -1;
+            if (contains) {
+                if (park_entry(sim, owner, PyTuple_GET_ITEM(entry, 2),
+                               PyTuple_GET_ITEM(entry, 3)) < 0)
+                    return -1;
+                return 0;
+            }
+        }
+    }
+    PyObject *result = PyObject_Call(PyTuple_GET_ITEM(entry, 2),
+                                     PyTuple_GET_ITEM(entry, 3), NULL);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 1;
+}
+
+/* run_loop(sim, until, max_events)
+ *
+ * The body of Simulator.run between the sanitizer arm/disarm: drains
+ * the heap honouring `until` (None = run to empty) and `max_events`
+ * (None = unbounded).  Updates sim.now and sim.events_executed exactly
+ * like the pure loop; returns None. */
+static PyObject *
+run_loop(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *until, *max_events;
+    if (!PyArg_ParseTuple(args, "OOO", &sim, &until, &max_events))
+        return NULL;
+
+    double horizon;
+    if (until == Py_None) {
+        horizon = Py_HUGE_VAL;
+    } else {
+        horizon = PyFloat_AsDouble(until);
+        if (horizon == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    long long budget = -1;
+    if (max_events != Py_None) {
+        budget = PyLong_AsLongLong(max_events);
+        if (budget == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    PyObject *heap = PyObject_GetAttr(sim, str_heap);
+    if (heap == NULL)
+        return NULL;
+    PyObject *suspended = PyObject_GetAttr(sim, str_suspended);
+    if (suspended == NULL) {
+        Py_DECREF(heap);
+        return NULL;
+    }
+    if (!PyList_CheckExact(heap) || !PyAnySet_Check(suspended)) {
+        Py_DECREF(heap);
+        Py_DECREF(suspended);
+        PyErr_SetString(PyExc_TypeError,
+                        "accel core needs a list heap and a set of owners");
+        return NULL;
+    }
+
+    long long executed = 0;
+    int failed = 0;
+    int hit_horizon = 0;
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *peek = PyList_GET_ITEM(heap, 0);
+        PyObject *when = PyTuple_GET_ITEM(peek, 0);
+        double when_d = PyFloat_AsDouble(when);
+        if (when_d == -1.0 && PyErr_Occurred()) {
+            failed = 1;
+            break;
+        }
+        if (when_d > horizon) {
+            /* self.now = until (the caller's object, as in Python). */
+            if (PyObject_SetAttr(sim, str_now, until) < 0)
+                failed = 1;
+            hit_horizon = 1;
+            break;
+        }
+        PyObject *entry = heappop(heap);
+        if (entry == NULL) {
+            failed = 1;
+            break;
+        }
+        int ran = dispatch(sim, suspended, entry);
+        Py_DECREF(entry);
+        if (ran < 0) {
+            failed = 1;
+            break;
+        }
+        if (ran == 0)
+            continue;
+        executed++;
+        if (budget >= 0 && executed >= budget) {
+            raise_budget_exceeded(max_events);
+            failed = 1;
+            break;
+        }
+    }
+    if (!failed && !hit_horizon && until != Py_None) {
+        /* Heap drained before the horizon: advance the clock to it
+         * (`if until is not None and until > self.now: self.now = until`). */
+        PyObject *now = PyObject_GetAttr(sim, str_now);
+        if (now == NULL) {
+            failed = 1;
+        } else {
+            int ahead = PyObject_RichCompareBool(until, now, Py_GT);
+            Py_DECREF(now);
+            if (ahead < 0)
+                failed = 1;
+            else if (ahead && PyObject_SetAttr(sim, str_now, until) < 0)
+                failed = 1;
+        }
+    }
+    Py_DECREF(heap);
+    Py_DECREF(suspended);
+    /* The pure loop's `finally:` — executed dispatches count even when
+     * a handler raised.  The pending exception must be stashed first:
+     * flush_executed allocates, and API calls with a live exception set
+     * can clobber it (observed as SystemError: returned NULL without
+     * setting an exception, under GC pressure). */
+    if (failed) {
+        PyObject *exc_type, *exc_value, *exc_tb;
+        PyErr_Fetch(&exc_type, &exc_value, &exc_tb);
+        if (flush_executed(sim, executed) < 0)
+            PyErr_Clear();  /* the handler's error wins */
+        PyErr_Restore(exc_type, exc_value, exc_tb);
+        return NULL;
+    }
+    if (flush_executed(sim, executed) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* run_until_loop(sim, event, limit, max_events)
+ *
+ * The body of Simulator.run_until_triggered between sanitizer arm and
+ * the final ok/value unpacking (which stays in Python). */
+static PyObject *
+run_until_loop(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *event, *limit, *max_events;
+    if (!PyArg_ParseTuple(args, "OOOO", &sim, &event, &limit, &max_events))
+        return NULL;
+
+    double horizon;
+    if (limit == Py_None) {
+        horizon = Py_HUGE_VAL;
+    } else {
+        horizon = PyFloat_AsDouble(limit);
+        if (horizon == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    long long budget = -1;
+    if (max_events != Py_None) {
+        budget = PyLong_AsLongLong(max_events);
+        if (budget == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    PyObject *heap = PyObject_GetAttr(sim, str_heap);
+    if (heap == NULL)
+        return NULL;
+    PyObject *suspended = PyObject_GetAttr(sim, str_suspended);
+    if (suspended == NULL) {
+        Py_DECREF(heap);
+        return NULL;
+    }
+    if (!PyList_CheckExact(heap) || !PyAnySet_Check(suspended)) {
+        Py_DECREF(heap);
+        Py_DECREF(suspended);
+        PyErr_SetString(PyExc_TypeError,
+                        "accel core needs a list heap and a set of owners");
+        return NULL;
+    }
+
+    long long executed = 0;
+    int failed = 0;
+    for (;;) {
+        /* while not event.triggered or event._callbacks is not None: */
+        PyObject *triggered = PyObject_GetAttr(event, str_triggered);
+        if (triggered == NULL) {
+            failed = 1;
+            break;
+        }
+        int is_triggered = PyObject_IsTrue(triggered);
+        Py_DECREF(triggered);
+        if (is_triggered < 0) {
+            failed = 1;
+            break;
+        }
+        if (is_triggered) {
+            PyObject *callbacks = PyObject_GetAttr(event, str_callbacks);
+            if (callbacks == NULL) {
+                failed = 1;
+                break;
+            }
+            int pending = (callbacks != Py_None);
+            Py_DECREF(callbacks);
+            if (!pending)
+                break;  /* triggered and processed: done */
+        }
+        if (PyList_GET_SIZE(heap) == 0) {
+            PyObject *error = get_simulation_error();
+            if (error != NULL)
+                PyErr_SetString(error,
+                                "event queue drained before event triggered");
+            failed = 1;
+            break;
+        }
+        PyObject *peek = PyList_GET_ITEM(heap, 0);
+        double when_d = PyFloat_AsDouble(PyTuple_GET_ITEM(peek, 0));
+        if (when_d == -1.0 && PyErr_Occurred()) {
+            failed = 1;
+            break;
+        }
+        if (when_d > horizon) {
+            PyObject *error = get_simulation_error();
+            if (error != NULL) {
+                PyObject *message = PyUnicode_FromFormat(
+                    "event not triggered before t=%S", limit);
+                if (message != NULL) {
+                    PyErr_SetObject(error, message);
+                    Py_DECREF(message);
+                }
+            }
+            failed = 1;
+            break;
+        }
+        PyObject *entry = heappop(heap);
+        if (entry == NULL) {
+            failed = 1;
+            break;
+        }
+        int ran = dispatch(sim, suspended, entry);
+        Py_DECREF(entry);
+        if (ran < 0) {
+            failed = 1;
+            break;
+        }
+        if (ran == 0)
+            continue;
+        executed++;
+        if (budget >= 0 && executed >= budget) {
+            raise_budget_exceeded(max_events);
+            failed = 1;
+            break;
+        }
+    }
+    Py_DECREF(heap);
+    Py_DECREF(suspended);
+    /* Same exception-safe `finally:` as run_loop. */
+    if (failed) {
+        PyObject *exc_type, *exc_value, *exc_tb;
+        PyErr_Fetch(&exc_type, &exc_value, &exc_tb);
+        if (flush_executed(sim, executed) < 0)
+            PyErr_Clear();
+        PyErr_Restore(exc_type, exc_value, exc_tb);
+        return NULL;
+    }
+    if (flush_executed(sim, executed) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef accelcore_methods[] = {
+    {"run_loop", run_loop, METH_VARARGS,
+     "run_loop(sim, until, max_events) -- drain the event heap (Simulator.run body)"},
+    {"run_until_loop", run_until_loop, METH_VARARGS,
+     "run_until_loop(sim, event, limit, max_events) -- drain until event is processed"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef accelcore_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.accel._accelcore",
+    "Compiled dispatch loops for repro.sim.kernel.Simulator.",
+    -1,
+    accelcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__accelcore(void)
+{
+    str_now = PyUnicode_InternFromString("now");
+    str_heap = PyUnicode_InternFromString("_heap");
+    str_suspended = PyUnicode_InternFromString("_suspended");
+    str_parked = PyUnicode_InternFromString("_parked");
+    str_events_executed = PyUnicode_InternFromString("events_executed");
+    str_triggered = PyUnicode_InternFromString("_triggered");
+    str_callbacks = PyUnicode_InternFromString("_callbacks");
+    if (!str_now || !str_heap || !str_suspended || !str_parked ||
+        !str_events_executed || !str_triggered || !str_callbacks)
+        return NULL;
+    return PyModule_Create(&accelcore_module);
+}

@@ -33,6 +33,7 @@ import os
 import random
 import time
 import uuid
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import DeterminismViolation
@@ -112,6 +113,27 @@ def _deactivate() -> None:
 def sanitizer_active() -> bool:
     """True while at least one :class:`DeterminismSanitizer` is entered."""
     return _depth > 0
+
+
+@contextmanager
+def sanitizer_suspended():
+    """Temporarily restore the real clocks at any nesting depth.
+
+    Process-pool fan-out (:mod:`repro.bench.parallel`) needs this: the
+    multiprocessing plumbing legitimately reads ``time.monotonic`` for
+    its queue timeouts, so a sanitized parent stands down around the
+    pool while each worker re-arms the sanitizer around its own cell.
+    Re-arms to the saved depth on exit, even on error. A no-op when the
+    sanitizer is not active.
+    """
+    depth = _depth
+    for _ in range(depth):
+        _deactivate()
+    try:
+        yield
+    finally:
+        for _ in range(depth):
+            _activate()
 
 
 class DeterminismSanitizer:

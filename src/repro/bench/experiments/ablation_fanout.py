@@ -10,7 +10,10 @@ rather than falling off a coordination cliff.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.microbenchmark import Microbenchmark
@@ -18,7 +21,27 @@ from repro.workloads.microbenchmark import Microbenchmark
 FANOUTS = (2, 3, 4, 6)
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 6) -> ExperimentResult:
+def _cell(fanout: int, machines: int, scale: str, seed: int) -> Tuple:
+    profile = ScaleProfile.get(scale)
+    workload = Microbenchmark(
+        mp_fraction=1.0, hot_set_size=10000, partitions_per_txn=fanout
+    )
+    config = ClusterConfig(num_partitions=machines, seed=seed)
+    report = run_calvin(workload, config, profile)
+    return (
+        fanout,
+        report.throughput,
+        report.throughput / machines,
+        report.latency_p50 * 1e3,
+    )
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 6,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     profile = ScaleProfile.get(scale)
     machines = min(machines, profile.max_machines)
     result = ExperimentResult(
@@ -27,20 +50,11 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 6) -> Experiment
         headers=("participants", "total txn/s", "per-machine txn/s", "p50 ms"),
         notes="one remote-read exchange regardless of fan-out — no 2PC cliff",
     )
-    for fanout in FANOUTS:
-        if fanout > machines:
-            continue
-        workload = Microbenchmark(
-            mp_fraction=1.0, hot_set_size=10000, partitions_per_txn=fanout
-        )
-        config = ClusterConfig(num_partitions=machines, seed=seed)
-        report = run_calvin(workload, config, profile)
-        result.add_row(
-            fanout,
-            report.throughput,
-            report.throughput / machines,
-            report.latency_p50 * 1e3,
-        )
+    params = [
+        (fanout, machines, scale, seed) for fanout in FANOUTS if fanout <= machines
+    ]
+    for row in sweep(_cell, params, jobs=jobs):
+        result.add_row(*row)
     return result
 
 

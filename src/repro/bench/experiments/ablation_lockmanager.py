@@ -11,7 +11,10 @@ worker pool, so the admission path is the binding constraint.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.bench.harness import LockStatsSampler, ScaleProfile, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig, CostModel
 from repro.workloads.microbenchmark import Microbenchmark
@@ -19,8 +22,38 @@ from repro.workloads.microbenchmark import Microbenchmark
 SHARD_COUNTS = (1, 2, 4, 8)
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 1) -> ExperimentResult:
+def _cell(shards: int, machines: int, scale: str, seed: int) -> Tuple:
     profile = ScaleProfile.get(scale)
+    costs = CostModel(lock_request_cpu=6e-6)
+    workload = Microbenchmark(mp_fraction=0.0, hot_set_size=10000)
+    config = ClusterConfig(
+        num_partitions=machines,
+        seed=seed,
+        workers_per_node=32,
+        lock_manager_shards=shards,
+        costs=costs,
+    )
+    sampler = LockStatsSampler()
+    report = run_calvin(
+        workload, config, profile,
+        clients_per_partition=profile.clients_per_partition * 2,
+        on_cluster=sampler.attach,
+    )
+    return (
+        shards,
+        report.throughput / machines,
+        report.latency_p50 * 1e3,
+        round(sampler.mean_active(), 1),
+        sampler.peak_queued(),
+    )
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 1,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Ablation (lock manager)",
         title="Lock-manager shards vs per-machine throughput (32 workers)",
@@ -29,29 +62,9 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 1) -> Experiment
         "isolating the serialization point the paper's design accepts; "
         "occupancy sampled once per epoch, not per grant",
     )
-    costs = CostModel(lock_request_cpu=6e-6)
-    for shards in SHARD_COUNTS:
-        workload = Microbenchmark(mp_fraction=0.0, hot_set_size=10000)
-        config = ClusterConfig(
-            num_partitions=machines,
-            seed=seed,
-            workers_per_node=32,
-            lock_manager_shards=shards,
-            costs=costs,
-        )
-        sampler = LockStatsSampler()
-        report = run_calvin(
-            workload, config, profile,
-            clients_per_partition=profile.clients_per_partition * 2,
-            on_cluster=sampler.attach,
-        )
-        result.add_row(
-            shards,
-            report.throughput / machines,
-            report.latency_p50 * 1e3,
-            round(sampler.mean_active(), 1),
-            sampler.peak_queued(),
-        )
+    params = [(shards, machines, scale, seed) for shards in SHARD_COUNTS]
+    for row in sweep(_cell, params, jobs=jobs):
+        result.add_row(*row)
     return result
 
 

@@ -9,7 +9,10 @@ hot-set microbenchmark (exclusive-only) cannot show.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.ycsb import YcsbWorkload
@@ -17,8 +20,24 @@ from repro.workloads.ycsb import YcsbWorkload
 THETAS = (0.0, 0.6, 0.9, 0.99, 1.2)
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> ExperimentResult:
+def _cell(theta: float, read_fraction: float, machines: int, scale: str, seed: int) -> float:
     profile = ScaleProfile.get(scale)
+    workload = YcsbWorkload(
+        records_per_partition=5000,
+        theta=theta,
+        read_fraction=read_fraction,
+        mp_fraction=0.1,
+    )
+    config = ClusterConfig(num_partitions=machines, seed=seed)
+    return run_calvin(workload, config, profile).throughput
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 2,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Ablation (skew)",
         title="Zipfian skew vs throughput (YCSB-style, 2 machines)",
@@ -27,18 +46,14 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> Experiment
         "update-heavy = 100% read-modify-write (exclusive locks serialize "
         "the head keys)",
     )
-    for theta in THETAS:
-        rates = []
-        for read_fraction in (0.95, 0.0):
-            workload = YcsbWorkload(
-                records_per_partition=5000,
-                theta=theta,
-                read_fraction=read_fraction,
-                mp_fraction=0.1,
-            )
-            config = ClusterConfig(num_partitions=machines, seed=seed)
-            rates.append(run_calvin(workload, config, profile).throughput)
-        result.add_row(theta, rates[0], rates[1])
+    params = [
+        (theta, read_fraction, machines, scale, seed)
+        for theta in THETAS
+        for read_fraction in (0.95, 0.0)
+    ]
+    rates = sweep(_cell, params, jobs=jobs)
+    for index, theta in enumerate(THETAS):
+        result.add_row(theta, rates[2 * index], rates[2 * index + 1])
     return result
 
 

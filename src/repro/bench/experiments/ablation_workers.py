@@ -10,7 +10,10 @@ implies.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.bench.harness import ScaleProfile, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.microbenchmark import Microbenchmark
@@ -18,23 +21,31 @@ from repro.workloads.microbenchmark import Microbenchmark
 WORKER_COUNTS = (2, 4, 8, 16, 32)
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> ExperimentResult:
+def _cell(workers: int, machines: int, scale: str, seed: int) -> Tuple:
     profile = ScaleProfile.get(scale)
+    workload = Microbenchmark(mp_fraction=0.10, hot_set_size=10000)
+    config = ClusterConfig(
+        num_partitions=machines, seed=seed, workers_per_node=workers
+    )
+    report = run_calvin(workload, config, profile)
+    return (workers, report.throughput / machines, report.latency_p50 * 1e3)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 2,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Ablation (workers)",
         title="Worker contexts per node vs per-machine throughput",
         headers=("workers", "per-machine txn/s", "p50 ms"),
         notes="flattens when the single lock-manager thread becomes the bound",
     )
-    for workers in WORKER_COUNTS:
-        workload = Microbenchmark(mp_fraction=0.10, hot_set_size=10000)
-        config = ClusterConfig(
-            num_partitions=machines, seed=seed, workers_per_node=workers
-        )
-        report = run_calvin(workload, config, profile)
-        result.add_row(
-            workers, report.throughput / machines, report.latency_p50 * 1e3
-        )
+    params = [(workers, machines, scale, seed) for workers in WORKER_COUNTS]
+    for row in sweep(_cell, params, jobs=jobs):
+        result.add_row(*row)
     return result
 
 

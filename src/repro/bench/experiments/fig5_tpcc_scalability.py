@@ -8,13 +8,29 @@ throughput growing near-linearly to ~500 k txns/sec at 100 machines
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.bench.harness import ScaleProfile, machine_sweep, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.tpcc import TpccWorkload
 
 
-def run(scale: str = "quick", seed: int = 2012) -> ExperimentResult:
+def _cell(machines: int, clients: int, scale: str, seed: int) -> Tuple:
+    profile = ScaleProfile.get(scale)
+    workload = TpccWorkload(mix={"new_order": 1.0}, remote_fraction=0.10)
+    config = ClusterConfig(num_partitions=machines, seed=seed)
+    report = run_calvin(workload, config, profile, clients_per_partition=clients)
+    return (
+        machines,
+        report.throughput,
+        report.throughput / machines,
+        report.latency_p99 * 1e3,
+    )
+
+
+def run(scale: str = "quick", seed: int = 2012, jobs: Optional[int] = None) -> ExperimentResult:
     profile = ScaleProfile.get(scale)
     result = ExperimentResult(
         experiment="Fig5 (E1)",
@@ -27,16 +43,9 @@ def run(scale: str = "quick", seed: int = 2012) -> ExperimentResult:
     # lengthen lock queues (convoying) without adding throughput. Offer a
     # saturating-but-not-thrashing load regardless of scale profile.
     clients = min(150, profile.clients_per_partition)
-    for machines in machine_sweep(profile):
-        workload = TpccWorkload(mix={"new_order": 1.0}, remote_fraction=0.10)
-        config = ClusterConfig(num_partitions=machines, seed=seed)
-        report = run_calvin(workload, config, profile, clients_per_partition=clients)
-        result.add_row(
-            machines,
-            report.throughput,
-            report.throughput / machines,
-            report.latency_p99 * 1e3,
-        )
+    params = [(machines, clients, scale, seed) for machines in machine_sweep(profile)]
+    for row in sweep(_cell, params, jobs=jobs):
+        result.add_row(*row)
     return result
 
 

@@ -9,7 +9,10 @@ curve at 100%.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.bench.harness import ScaleProfile, machine_sweep, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.microbenchmark import Microbenchmark
@@ -17,7 +20,20 @@ from repro.workloads.microbenchmark import Microbenchmark
 MP_FRACTIONS = (0.0, 0.10, 1.0)
 
 
-def run(scale: str = "quick", seed: int = 2012) -> ExperimentResult:
+def _cell(mp_fraction: float, machines: int, scale: str, seed: int) -> Tuple:
+    profile = ScaleProfile.get(scale)
+    workload = Microbenchmark(mp_fraction=mp_fraction, hot_set_size=10000)
+    config = ClusterConfig(num_partitions=machines, seed=seed)
+    report = run_calvin(workload, config, profile)
+    return (
+        machines,
+        int(mp_fraction * 100),
+        report.throughput / machines,
+        report.throughput,
+    )
+
+
+def run(scale: str = "quick", seed: int = 2012, jobs: Optional[int] = None) -> ExperimentResult:
     profile = ScaleProfile.get(scale)
     result = ExperimentResult(
         experiment="Fig6 (E2)",
@@ -26,17 +42,13 @@ def run(scale: str = "quick", seed: int = 2012) -> ExperimentResult:
         notes="paper: ~27k/machine at 0% mp; large drop at 100% mp; near-flat scaling",
     )
     machines_list = machine_sweep(profile, targets=(2, 4, 8, 16))
-    for mp_fraction in MP_FRACTIONS:
-        for machines in machines_list:
-            workload = Microbenchmark(mp_fraction=mp_fraction, hot_set_size=10000)
-            config = ClusterConfig(num_partitions=machines, seed=seed)
-            report = run_calvin(workload, config, profile)
-            result.add_row(
-                machines,
-                int(mp_fraction * 100),
-                report.throughput / machines,
-                report.throughput,
-            )
+    params = [
+        (mp_fraction, machines, scale, seed)
+        for mp_fraction in MP_FRACTIONS
+        for machines in machines_list
+    ]
+    for row in sweep(_cell, params, jobs=jobs):
+        result.add_row(*row)
     return result
 
 

@@ -10,7 +10,10 @@ holds locks across two-phase commit and suffers deadlock aborts.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bench.harness import ScaleProfile, run_baseline, run_calvin
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.workloads.microbenchmark import Microbenchmark
@@ -18,8 +21,20 @@ from repro.workloads.microbenchmark import Microbenchmark
 CONTENTION_HOT_SETS = (10000, 1000, 100, 10, 2, 1)
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> ExperimentResult:
+def _cell(system: str, hot_set: int, machines: int, scale: str, seed: int) -> float:
     profile = ScaleProfile.get(scale)
+    workload = Microbenchmark(mp_fraction=0.10, hot_set_size=hot_set)
+    config = ClusterConfig(num_partitions=machines, seed=seed)
+    runner = run_calvin if system == "calvin" else run_baseline
+    return runner(workload, config, profile).throughput
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 2,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Fig7 (E3)",
         title="Slowdown vs contention index (10% multipartition)",
@@ -33,13 +48,14 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> Experiment
         notes="slowdown = system's low-contention throughput / its throughput here; "
         "paper: 2PC system collapses orders of magnitude sooner than Calvin",
     )
-    calvin_rates, baseline_rates = [], []
-    for hot_set in CONTENTION_HOT_SETS:
-        workload = Microbenchmark(mp_fraction=0.10, hot_set_size=hot_set)
-        config = ClusterConfig(num_partitions=machines, seed=seed)
-        calvin_rates.append(run_calvin(workload, config, profile).throughput)
-        workload = Microbenchmark(mp_fraction=0.10, hot_set_size=hot_set)
-        baseline_rates.append(run_baseline(workload, config, profile).throughput)
+    params = [
+        (system, hot_set, machines, scale, seed)
+        for hot_set in CONTENTION_HOT_SETS
+        for system in ("calvin", "2pc")
+    ]
+    rates = sweep(_cell, params, jobs=jobs)
+    calvin_rates = rates[0::2]
+    baseline_rates = rates[1::2]
     calvin_reference = max(calvin_rates[0], 1e-9)
     baseline_reference = max(baseline_rates[0], 1e-9)
     for index, hot_set in enumerate(CONTENTION_HOT_SETS):

@@ -8,8 +8,9 @@ stop-the-world alternative (our added contrast) shows a full outage.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
@@ -44,7 +45,12 @@ def _throughput_series(mode: str, seed: int, machines: int, duration: float,
     return series, info
 
 
-def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> ExperimentResult:
+def run(
+    scale: str = "quick",
+    seed: int = 2012,
+    machines: int = 2,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     duration = 1.0 if scale != "smoke" else 0.6
     checkpoint_at = duration * 0.35
     result = ExperimentResult(
@@ -54,8 +60,12 @@ def run(scale: str = "quick", seed: int = 2012, machines: int = 2) -> Experiment
         notes=f"checkpoint starts ~t={checkpoint_at:.2f}s; paper: async scheme shows "
         "a modest dip, no outage",
     )
-    zigzag, zigzag_info = _throughput_series("zigzag", seed, machines, duration, checkpoint_at)
-    naive, naive_info = _throughput_series("naive", seed, machines, duration, checkpoint_at)
+    params = [
+        (mode, seed, machines, duration, checkpoint_at) for mode in ("zigzag", "naive")
+    ]
+    (zigzag, zigzag_info), (naive, naive_info) = sweep(
+        _throughput_series, params, jobs=jobs
+    )
     for (t, zz_rate), (_t2, nv_rate) in zip(zigzag, naive):
         result.add_row(round(t, 2), zz_rate, nv_rate)
     result.notes += (

@@ -20,9 +20,10 @@ regression oracle (same seed ⇒ same digest).
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.bench.harness import ScaleProfile
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
@@ -72,15 +73,53 @@ def _max_link_utilization(cluster: CalvinCluster) -> float:
     )
 
 
+def _collapse_rung(
+    bandwidth: float,
+    scale: str,
+    seed: int,
+    topology: str,
+    replicas: int,
+    partitions: int,
+) -> Tuple:
+    """One bandwidth rung of the contention-collapse ladder."""
+    profile = ScaleProfile.get(scale)
+    workload = Microbenchmark(
+        mp_fraction=0.3, hot_set_size=10_000, cold_set_size=10_000
+    )
+    config = ClusterConfig(
+        num_partitions=partitions,
+        num_replicas=replicas,
+        replication_mode="paxos",
+        topology=topology,
+        wan_latency=0.01,
+        wan_bandwidth=bandwidth,
+        seed=seed,
+    )
+    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(ClientProfile(per_partition=3))
+    report = cluster.run(profile.duration, warmup=profile.warmup)
+    latency = cluster.metrics.latency
+    return (
+        _mbps(bandwidth),
+        report.throughput,
+        latency.percentile(50) * 1e3,
+        latency.percentile(99) * 1e3,
+        _max_link_utilization(cluster),
+        cluster.network.wan_bytes / 1e6,
+    )
+
+
 def contention_collapse(
     scale: str = "quick",
     seed: int = 2012,
     topology: str = "chain",
     replicas: int = 3,
     partitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Commit latency vs per-link WAN bandwidth on a routed topology."""
-    profile = ScaleProfile.get(scale)
+    ScaleProfile.get(scale)  # validate before any rung runs
     try:
         bandwidths = _BANDWIDTHS[scale]
     except KeyError:  # pragma: no cover - ScaleProfile.get raised first
@@ -101,32 +140,12 @@ def contention_collapse(
             "wan_mb",
         ),
     )
-    workload = Microbenchmark(
-        mp_fraction=0.3, hot_set_size=10_000, cold_set_size=10_000
-    )
-    for bandwidth in bandwidths:
-        config = ClusterConfig(
-            num_partitions=partitions,
-            num_replicas=replicas,
-            replication_mode="paxos",
-            topology=topology,
-            wan_latency=0.01,
-            wan_bandwidth=bandwidth,
-            seed=seed,
-        )
-        cluster = CalvinCluster(config, workload=workload, record_history=False)
-        cluster.load_workload_data()
-        cluster.add_clients(ClientProfile(per_partition=3))
-        report = cluster.run(profile.duration, warmup=profile.warmup)
-        latency = cluster.metrics.latency
-        result.add_row(
-            _mbps(bandwidth),
-            report.throughput,
-            latency.percentile(50) * 1e3,
-            latency.percentile(99) * 1e3,
-            _max_link_utilization(cluster),
-            cluster.network.wan_bytes / 1e6,
-        )
+    params = [
+        (bandwidth, scale, seed, topology, replicas, partitions)
+        for bandwidth in bandwidths
+    ]
+    for row in sweep(_collapse_rung, params, jobs=jobs):
+        result.add_row(*row)
     result.notes = (
         "as per-link bandwidth shrinks the Paxos batches and writesets "
         "congest the chain: latency flips from propagation-bound to "
@@ -141,6 +160,7 @@ def read_scaling(
     seed: int = 2012,
     topology: str = "ring",
     partitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Replica-local read throughput and staleness vs replica count."""
     profile = ScaleProfile.get(scale)
@@ -166,9 +186,13 @@ def read_scaling(
             "remote_hit_frac",
         ),
     )
-    for replicas in ladder:
-        for mode in ("input", "local"):
-            result.add_row(*_read_rung(seed, topology, partitions, replicas, mode, profile))
+    params = [
+        (seed, topology, partitions, replicas, mode, profile)
+        for replicas in ladder
+        for mode in ("input", "local")
+    ]
+    for row in sweep(_read_rung, params, jobs=jobs):
+        result.add_row(*row)
     result.notes = (
         "mode=input sends every read across the WAN to replica 0; "
         "mode=local reads the nearest hosting replica — throughput "
@@ -258,10 +282,12 @@ def run(
     topology: str = "chain",
     replicas: int = 3,
     partitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> Tuple[ExperimentResult, ExperimentResult, str]:
     """Both geo curves plus their combined determinism digest."""
     collapse = contention_collapse(
-        scale, seed, topology=topology, replicas=replicas, partitions=partitions
+        scale, seed, topology=topology, replicas=replicas, partitions=partitions,
+        jobs=jobs,
     )
-    reads = read_scaling(scale, seed, partitions=partitions)
+    reads = read_scaling(scale, seed, partitions=partitions, jobs=jobs)
     return collapse, reads, digest(collapse, reads)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
@@ -134,23 +134,124 @@ def run_config(config: PerfConfig, quick: bool = False) -> Dict[str, Any]:
     }
 
 
-def run_perf(quick: bool = False) -> Dict[str, Any]:
-    """Run the full matrix; return the ``BENCH_perf.json`` payload."""
+def _run_config_by_name(name: str, quick: bool) -> Dict[str, Any]:
+    """Picklable worker: run one canned config looked up by name."""
+    for config in canned_configs():
+        if config.name == name:
+            return run_config(config, quick=quick)
+    raise KeyError(f"no canned perf config named {name!r}")
+
+
+def run_perf(quick: bool = False, jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run the full matrix; return the ``BENCH_perf.json`` payload.
+
+    ``jobs > 1`` measures each config in its own process (fresh
+    interpreter state, no cross-config heap pollution). Virtual results
+    are identical at any job count; wall-clock numbers contend for cores
+    when configs overlap, so regression *checks* should stay serial —
+    the parallel mode is for quick comparative sweeps.
+    """
+    from repro.accel import accel_active
+    from repro.bench.parallel import sweep
+
     # Calibrate before AND after: a background-load spike during the
     # window shows up as a dip in one of the samples; taking the max
     # records the machine's demonstrated speed.
     calibration_before = calibration_ops_per_sec()
-    configs: Dict[str, Dict[str, Any]] = {}
-    for config in canned_configs():
-        configs[config.name] = run_config(config, quick=quick)
+    names = [config.name for config in canned_configs()]
+    records = sweep(_run_config_by_name, [(name, quick) for name in names], jobs=jobs)
+    configs = dict(zip(names, records))
     calibration_after = calibration_ops_per_sec()
     return {
         "schema": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
+        "accel": accel_active(),
         "calibration_ops_per_sec": max(calibration_before, calibration_after),
         "configs": configs,
     }
+
+
+def append_history(
+    payload: Dict[str, Any], path: str = "BENCH_history.jsonl"
+) -> str:
+    """Append a timestamped summary row of ``payload`` to the history log.
+
+    ``BENCH_perf.json`` stays "latest"; the JSONL history accumulates
+    one row per run so perf trends are greppable/plottable across PRs.
+    Returns the path written.
+    """
+    import json
+
+    # Wall-clock timestamp is the point of a history log; this metadata
+    # write happens outside any simulated run (datetime.now is also not
+    # a sanitizer trip wire, so --sanitize runs still record history).
+    from datetime import datetime, timezone
+
+    row = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),  # det: allow[DET002] run metadata, written outside any simulated run
+        "schema": payload["schema"],
+        "mode": payload["mode"],
+        "python": payload["python"],
+        "accel": payload.get("accel", False),
+        "calibration_ops_per_sec": payload["calibration_ops_per_sec"],
+        "configs": {
+            name: {
+                "events_per_sec": record["events_per_sec"],
+                "txns_per_sec": record["txns_per_sec"],
+            }
+            for name, record in payload["configs"].items()
+        },
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def profile_config(
+    name: str,
+    quick: bool = False,
+    out: Optional[str] = None,
+    top_n: int = 25,
+) -> Tuple[str, Optional[str]]:
+    """cProfile one canned config's measured window; return a top-N table.
+
+    Profiles only the measurement window (warmup and cluster build
+    excluded), sorted by cumulative time — the starting point for any
+    hot-path hunt (docs/performance.md documents the current tpcc-4p
+    profile). When ``out`` is given the raw stats are dumped there for
+    ``snakeviz``/``pstats`` digging. Returns ``(table_text, out)``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    target = None
+    for config in canned_configs():
+        if config.name == name:
+            target = config
+    if target is None:
+        raise KeyError(f"no canned perf config named {name!r}")
+    workload, cluster_config = target.build()
+    cluster = CalvinCluster(cluster_config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(ClientProfile(per_partition=target.clients_per_partition))
+    cluster.start()
+    for client in cluster.clients:
+        client.start()
+    sim = cluster.sim
+    sim.run(until=sim.now + target.warmup)
+    duration = target.quick_duration if quick else target.duration
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(until=sim.now + duration)
+    profiler.disable()
+    if out:
+        profiler.dump_stats(out)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return buffer.getvalue(), out
 
 
 @dataclass

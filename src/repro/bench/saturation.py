@@ -15,9 +15,10 @@ load up to the plateau.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.bench.harness import ScaleProfile
+from repro.bench.parallel import sweep
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
 from repro.core.cluster import CalvinCluster
@@ -46,15 +47,81 @@ def capacity_per_node(config: ClusterConfig) -> float:
     return (config.admission_epoch_budget or 0) / config.epoch_duration
 
 
+def _rung(
+    fraction: float,
+    scale: str,
+    seed: int,
+    policy: str,
+    arrival: str,
+    partitions: int,
+) -> Tuple:
+    """One offered-load rung: fresh cluster, one measured window."""
+    profile = ScaleProfile.get(scale)
+    config = ClusterConfig(
+        num_partitions=partitions,
+        seed=seed,
+        admission_policy=policy,
+        admission_epoch_budget=EPOCH_BUDGET,
+        admission_queue_capacity=2 * EPOCH_BUDGET,
+    )
+    node_capacity = capacity_per_node(config)
+    rate_per_client = fraction * node_capacity / _CLIENTS_PER_PARTITION
+    workload = Microbenchmark(
+        mp_fraction=0.1, hot_set_size=10_000, cold_set_size=10_000
+    )
+    cluster = CalvinCluster(config, workload=workload, record_history=False)
+    cluster.load_workload_data()
+    cluster.add_clients(
+        ClientProfile(
+            per_partition=_CLIENTS_PER_PARTITION,
+            mode="open",
+            arrival=arrival,
+            rate=rate_per_client,
+        )
+    )
+    cluster.start()
+    for client in cluster.clients:
+        client.start()
+    sim = cluster.sim
+    sim.run(until=sim.now + profile.warmup)
+    before = cluster.admission_stats()
+    cluster.metrics.begin_window(sim.now)
+    window_start = sim.now
+    sim.run(until=sim.now + profile.duration)
+    duration = sim.now - window_start
+    after = cluster.admission_stats()
+    report = cluster.metrics.report(sim.now)
+
+    offered_rate = (after["offered"] - before["offered"]) / duration
+    admitted_rate = (after["admitted"] - before["admitted"]) / duration
+    rejected = sum(
+        after[key] - before[key]
+        for key in ("shed", "dropped", "backpressured")
+    )
+    latency = cluster.metrics.latency
+    return (
+        fraction,
+        offered_rate,
+        admitted_rate,
+        report.throughput,
+        latency.percentile(50) * 1e3,
+        latency.percentile(95) * 1e3,
+        latency.percentile(99) * 1e3,
+        after["peak_queue_depth"],
+        rejected,
+    )
+
+
 def run(
     scale: str = "quick",
     seed: int = 2012,
     policy: str = "backpressure",
     arrival: str = "poisson",
     partitions: int = 2,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep offered load across the admission knee; return the curve."""
-    profile = ScaleProfile.get(scale)
+    ScaleProfile.get(scale)  # validate before any rung runs
     try:
         fractions = _FRACTIONS[scale]
     except KeyError:  # pragma: no cover - ScaleProfile.get raised first
@@ -79,62 +146,21 @@ def run(
         ),
     )
 
-    capacity = None
-    for fraction in fractions:
-        config = ClusterConfig(
+    capacity = capacity_per_node(
+        ClusterConfig(
             num_partitions=partitions,
             seed=seed,
             admission_policy=policy,
             admission_epoch_budget=EPOCH_BUDGET,
             admission_queue_capacity=2 * EPOCH_BUDGET,
         )
-        node_capacity = capacity_per_node(config)
-        capacity = node_capacity * partitions
-        rate_per_client = fraction * node_capacity / _CLIENTS_PER_PARTITION
-        workload = Microbenchmark(
-            mp_fraction=0.1, hot_set_size=10_000, cold_set_size=10_000
-        )
-        cluster = CalvinCluster(config, workload=workload, record_history=False)
-        cluster.load_workload_data()
-        cluster.add_clients(
-            ClientProfile(
-                per_partition=_CLIENTS_PER_PARTITION,
-                mode="open",
-                arrival=arrival,
-                rate=rate_per_client,
-            )
-        )
-        cluster.start()
-        for client in cluster.clients:
-            client.start()
-        sim = cluster.sim
-        sim.run(until=sim.now + profile.warmup)
-        before = cluster.admission_stats()
-        cluster.metrics.begin_window(sim.now)
-        window_start = sim.now
-        sim.run(until=sim.now + profile.duration)
-        duration = sim.now - window_start
-        after = cluster.admission_stats()
-        report = cluster.metrics.report(sim.now)
-
-        offered_rate = (after["offered"] - before["offered"]) / duration
-        admitted_rate = (after["admitted"] - before["admitted"]) / duration
-        rejected = sum(
-            after[key] - before[key]
-            for key in ("shed", "dropped", "backpressured")
-        )
-        latency = cluster.metrics.latency
-        result.add_row(
-            fraction,
-            offered_rate,
-            admitted_rate,
-            report.throughput,
-            latency.percentile(50) * 1e3,
-            latency.percentile(95) * 1e3,
-            latency.percentile(99) * 1e3,
-            after["peak_queue_depth"],
-            rejected,
-        )
+    ) * partitions
+    params = [
+        (fraction, scale, seed, policy, arrival, partitions)
+        for fraction in fractions
+    ]
+    for row in sweep(_rung, params, jobs=jobs):
+        result.add_row(*row)
 
     result.notes = (
         f"admission capacity {capacity:,.0f} txn/s "

@@ -23,12 +23,12 @@ same table.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.bench.harness import SATURATION_CLIENTS, ScaleProfile, run_engine
+from repro.bench.parallel import Cell, run_cells
 from repro.bench.reporting import ExperimentResult
 from repro.config import ClusterConfig
-from repro.core.metrics import RunReport
 from repro.errors import ConfigError
 from repro.workloads.microbenchmark import Microbenchmark
 
@@ -50,6 +50,37 @@ def _config_for(engine: str, partitions: int, seed: int) -> ClusterConfig:
     )
 
 
+def _shootout_cell(
+    engine: str,
+    hot_set_size: int,
+    mp_fraction: Optional[float],
+    partitions: int,
+    seed: int,
+    scale: str,
+    clients: int,
+) -> float:
+    """One saturated window; ``mp_fraction=None`` is the single-node
+    reference (the workload's default multipartition draw on one
+    partition collapses to single-partition there)."""
+    profile = ScaleProfile.get(scale)
+    if mp_fraction is None:
+        workload = Microbenchmark(hot_set_size=hot_set_size, cold_set_size=10000)
+    else:
+        workload = Microbenchmark(
+            hot_set_size=hot_set_size,
+            cold_set_size=10000,
+            mp_fraction=mp_fraction,
+        )
+    report = run_engine(
+        engine,
+        workload,
+        _config_for(engine, partitions, seed),
+        profile,
+        clients_per_partition=clients,
+    )
+    return report.throughput
+
+
 def run(
     scale: str = "smoke",
     seed: int = 2012,
@@ -58,19 +89,21 @@ def run(
     mp_fractions: Sequence[float] = DEFAULT_MP_FRACTIONS,
     contention: Sequence[Tuple[str, int]] = DEFAULT_CONTENTION,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep contention x multipartition-% across ``engines``.
 
     Returns an :class:`ExperimentResult` with one throughput column per
     engine plus the single-node reference; ``progress`` (if given) is
-    called with a one-line string after every cell, for live CLI output.
+    called with a one-line string after every cell, for live CLI output
+    (in deterministic cell order, even with ``jobs > 1``).
     """
     if partitions < 2:
         raise ConfigError("the shoot-out needs >= 2 partitions")
     unknown = [e for e in engines if e not in ("core", "baseline", "star")]
     if unknown:
         raise ConfigError(f"unknown engine(s) in shoot-out: {unknown}")
-    profile = ScaleProfile.get(scale)
+    ScaleProfile.get(scale)  # validate before any cell runs
     # The phase-switch trade only shows at depth: under-saturated clients
     # turn STAR's multipartition batching latency into lost throughput.
     # Scale therefore controls window lengths only, never client count.
@@ -90,46 +123,45 @@ def run(
         headers=headers,
     )
 
+    # One flat cell list: per contention row, the single-node ceiling (the
+    # same per-partition workload on one partition — multipartition draws
+    # collapse to single-partition there, so one run covers every mp point
+    # of that row) plus one cell per (mp fraction, engine). Every cell
+    # builds its own cluster from the seed, so the sweep fans out freely.
+    cells = []
     for label, hot_set_size in contention:
-        # The single-node ceiling: the same per-partition workload on one
-        # partition (multipartition draws collapse to single-partition
-        # there, so one run covers every mp point of this contention row).
-        reference = run_engine(
-            "core",
-            Microbenchmark(hot_set_size=hot_set_size, cold_set_size=10000),
-            _config_for("core", 1, seed),
-            profile,
-            clients_per_partition=clients,
-        )
-        if progress is not None:
-            progress(
-                f"contention={label} single-node reference: "
-                f"{reference.throughput:,.0f} txn/s"
-            )
+        cells.append(Cell(
+            fn=_shootout_cell,
+            args=("core", hot_set_size, None, 1, seed, scale, clients),
+            label=f"contention={label} single-node reference",
+        ))
         for mp_fraction in mp_fractions:
-            reports: Dict[str, RunReport] = {}
             for engine in engines:
-                workload = Microbenchmark(
-                    hot_set_size=hot_set_size,
-                    cold_set_size=10000,
-                    mp_fraction=mp_fraction,
-                )
-                reports[engine] = run_engine(
-                    engine, workload, _config_for(engine, partitions, seed),
-                    profile, clients_per_partition=clients,
-                )
-                if progress is not None:
-                    progress(
-                        f"contention={label} mp={mp_fraction:.0%} "
-                        f"{engine}: {reports[engine].throughput:,.0f} txn/s"
-                    )
+                cells.append(Cell(
+                    fn=_shootout_cell,
+                    args=(engine, hot_set_size, mp_fraction, partitions,
+                          seed, scale, clients),
+                    label=f"contention={label} mp={mp_fraction:.0%} {engine}",
+                ))
+    rates = run_cells(cells, jobs=jobs)
+    if progress is not None:
+        for cell, rate in zip(cells, rates):
+            progress(f"{cell.label}: {rate:,.0f} txn/s")
+
+    cursor = 0
+    for label, hot_set_size in contention:
+        reference = rates[cursor]
+        cursor += 1
+        for mp_fraction in mp_fractions:
+            throughputs = dict(zip(engines, rates[cursor:cursor + len(engines)]))
+            cursor += len(engines)
             row = [label, hot_set_size, round(mp_fraction * 100, 1)]
-            row += [round(reports[engine].throughput, 1) for engine in engines]
-            row.append(round(reference.throughput, 1))
+            row += [round(throughputs[engine], 1) for engine in engines]
+            row.append(round(reference, 1))
             if "core" in engines and "star" in engines:
-                calvin = reports["core"].throughput
+                calvin = throughputs["core"]
                 row.append(
-                    round(reports["star"].throughput / calvin, 2) if calvin else 0.0
+                    round(throughputs["star"] / calvin, 2) if calvin else 0.0
                 )
             result.add_row(*row)
 

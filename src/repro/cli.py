@@ -12,20 +12,25 @@ Commands:
 - ``demo`` — a 30-second guided tour (tiny cluster, a few transactions,
   a serializability check).
 - ``chaos [--profile P] [--seed N] [--duration X] [--replicas R]
-  [--topology T] [--open-loop RATE] [--admission POLICY]`` — run the
-  microbenchmark
+  [--topology T] [--open-loop RATE] [--admission POLICY] [--seeds K]
+  [--jobs N]`` — run the microbenchmark
   under a named fault profile, verify every correctness invariant, and
   print the reproducible fault-trace digest. With ``--open-loop`` the
   cluster is additionally driven by open-loop clients at RATE txn/s per
   client through an admission controller, so overload and faults
-  compose.
+  compose. ``--seeds K`` turns one run into a campaign over K
+  consecutive seeds (fanned across processes with ``--jobs``), one
+  digest and invariant verdict per seed.
 - ``trace [--system calvin|baseline|both] [--format summary|chrome]
   [--out F]`` — run the microbenchmark with span tracing on and emit a
   per-phase latency breakdown or a Chrome ``trace_event`` JSON loadable
   in chrome://tracing / Perfetto.
-- ``bench perf [--quick] [--out F] [--check BASELINE]`` — measure the
-  simulator's own wall-clock speed (events/sec, txns/sec) on a canned
-  config matrix and optionally fail on regression vs a baseline.
+- ``bench perf [--quick] [--out F] [--check BASELINE] [--profile C]``
+  — measure the simulator's own wall-clock speed (events/sec,
+  txns/sec) on a canned config matrix and optionally fail on
+  regression vs a baseline; every written run also appends a
+  timestamped row to ``BENCH_history.jsonl``. ``--profile CONFIG``
+  cProfiles one config's measured window instead.
 - ``bench saturation [--scale S] [--seed N] [--policy P] [--arrival A]
   [--partitions K]`` — sweep open-loop offered load across the
   admission knee and print the throughput-vs-latency curve.
@@ -54,6 +59,12 @@ Commands:
 ``--sanitize``: arm the runtime determinism sanitizer for the duration
 of the command, so any ambient randomness / wall-clock / entropy call
 raises ``DeterminismViolation`` instead of silently diverging replicas.
+
+Sweep-shaped commands (``run`` of a grid experiment, ``bench
+perf|compare|geo|saturation``, ``chaos --seeds K``) accept ``--jobs N``
+to fan independent cells across worker processes; every cell builds its
+own cluster from an explicit seed, so results are byte-identical at any
+job count.
 """
 
 from __future__ import annotations
@@ -119,6 +130,15 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent sweep cells across N worker processes "
+             "(0 = one per core; default serial); results are "
+             "byte-identical at any job count",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -137,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--chart", action="store_true", help="render the table as ASCII bars"
     )
+    _add_jobs_flag(run)
     _add_sanitize_flag(run)
 
     sub.add_parser("demo", help="run a small guided demo")
@@ -158,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("queue", "shed", "backpressure"),
                        help="admission policy in front of the sequencers "
                             "(used with --open-loop; default backpressure)")
+    chaos.add_argument("--seeds", type=int, default=1, metavar="K",
+                       help="campaign mode: run K consecutive seeds "
+                            "(--seed .. --seed+K-1), verify every invariant "
+                            "per seed, and print one digest per seed")
+    _add_jobs_flag(chaos)
 
     trace = sub.add_parser(
         "trace", help="trace the microbenchmark and print latency breakdowns"
@@ -206,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--threshold", type=float, default=None,
                       help="normalised events/sec drop flagged as regression "
                            "(default 0.30)")
+    perf.add_argument("--profile", metavar="CONFIG", default=None,
+                      help="cProfile CONFIG's measured window instead of "
+                           "benchmarking (e.g. tpcc-4p); prints the top "
+                           "functions by cumulative time")
+    perf.add_argument("--profile-out", metavar="FILE", default=None,
+                      help="with --profile: dump raw pstats data to FILE "
+                           "for snakeviz/pstats")
+    perf.add_argument("--top", type=int, default=25, metavar="N",
+                      help="with --profile: rows in the printed table "
+                           "(default 25)")
+    perf.add_argument("--history", metavar="FILE", default="BENCH_history.jsonl",
+                      help="perf-history JSONL appended after each written "
+                           "run (default BENCH_history.jsonl)")
+    perf.add_argument("--no-history", action="store_true",
+                      help="skip the history append")
+    _add_jobs_flag(perf)
     _add_sanitize_flag(perf)
     saturation = bench_sub.add_parser(
         "saturation",
@@ -225,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the curve as CSV")
     saturation.add_argument("--chart", action="store_true",
                             help="render the curve as ASCII bars")
+    _add_jobs_flag(saturation)
     _add_sanitize_flag(saturation)
     shootout = bench_sub.add_parser(
         "compare",
@@ -248,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the table as JSON")
     shootout.add_argument("--csv", metavar="FILE",
                           help="also write the table as CSV")
+    _add_jobs_flag(shootout)
     _add_sanitize_flag(shootout)
 
     geo = bench_sub.add_parser(
@@ -267,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the tables as PREFIX-<experiment>.json")
     geo.add_argument("--csv", metavar="PREFIX",
                      help="also write the tables as PREFIX-<experiment>.csv")
+    _add_jobs_flag(geo)
     _add_sanitize_flag(geo)
 
     topology = sub.add_parser(
@@ -340,8 +385,19 @@ def cmd_experiments() -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
     module = importlib.import_module(EXPERIMENTS[args.experiment])
-    result = module.run(scale=args.scale, seed=args.seed)
+    kwargs = {}
+    if args.jobs is not None:
+        # Grid experiments fan their sweep across processes; the
+        # single-scenario experiments have no grid to fan out.
+        if "jobs" in inspect.signature(module.run).parameters:
+            kwargs["jobs"] = args.jobs
+        else:
+            print(f"note: {args.experiment} has no sweep grid; "
+                  "--jobs ignored", file=sys.stderr)
+    result = module.run(scale=args.scale, seed=args.seed, **kwargs)
     print(result)
     if args.chart:
         from repro.bench.charts import ascii_chart
@@ -391,13 +447,134 @@ def cmd_demo() -> int:
     return 0
 
 
-def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.config import ClusterConfig
+def _chaos_checks():
     from repro.core import checkers
+
+    return [
+        ("serializability", checkers.check_serializability),
+        ("conflict order", checkers.check_conflict_order),
+        ("replica consistency", lambda c: checkers.check_replica_consistency(c) or 0),
+        ("epoch contiguity", checkers.check_epoch_contiguity),
+        ("no double-apply", checkers.check_no_double_apply),
+        ("no lost commits", checkers.check_no_lost_commits),
+        ("replica prefix consistency", checkers.check_replica_prefix_consistency),
+    ]
+
+
+def _chaos_campaign_cell(
+    profile: str,
+    seed: int,
+    duration: float,
+    replicas: int,
+    partitions: int,
+    topology: Optional[str],
+    open_loop: Optional[float],
+    admission: str,
+) -> Dict:
+    """One seed of a chaos campaign: run, verify invariants, summarize.
+
+    Module-level (picklable) so ``--jobs`` can fan seeds across worker
+    processes; everything returned is plain data plus a gauge-free
+    metrics registry, so summaries merge in the parent.
+    """
+    from repro.bench.parallel import portable_registry
+    from repro.config import ClusterConfig
     from repro.core.cluster import CalvinCluster
     from repro.core.traffic import ClientProfile
     from repro.workloads.microbenchmark import Microbenchmark
 
+    driven = open_loop is not None
+    config = ClusterConfig(
+        num_partitions=partitions,
+        num_replicas=replicas,
+        replication_mode="paxos" if replicas > 1 else "none",
+        seed=seed,
+        fault_profile=profile,
+        fault_horizon=duration * 0.85,
+        admission_policy=admission if driven else "none",
+        admission_epoch_budget=20 if driven else None,
+        topology=topology,
+    )
+    cluster = CalvinCluster(
+        config,
+        workload=Microbenchmark(mp_fraction=0.3, hot_set_size=10, cold_set_size=100),
+        monitor_interval=config.epoch_duration * 5,
+    )
+    cluster.load_workload_data()
+    cluster.add_clients(ClientProfile(per_partition=4, max_txns=20))
+    if driven:
+        arrivals = max(1, int(open_loop * duration))
+        cluster.add_clients(
+            ClientProfile(
+                per_partition=4, mode="open", rate=open_loop, max_txns=arrivals
+            )
+        )
+    cluster.run(duration=duration)
+    cluster.quiesce()
+    failures = []
+    checked = 0
+    for name, check in _chaos_checks():
+        try:
+            checked += check(cluster)
+        except Exception as exc:  # noqa: BLE001 - campaign reports, not aborts
+            failures.append(f"{name}: {exc}")
+    injector = cluster.fault_injector
+    return {
+        "seed": seed,
+        "digest": injector.trace_digest(),
+        "committed": cluster.metrics.committed,
+        "fault_events": len(injector.trace),
+        "invariants_checked": checked,
+        "failures": failures,
+        "registry": portable_registry(cluster.metrics_registry),
+    }
+
+
+def _chaos_campaign(args: argparse.Namespace) -> int:
+    from repro.bench.parallel import Cell, merge_registries, run_cells
+
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    print(f"chaos campaign: profile {args.profile}, seeds "
+          f"{seeds[0]}..{seeds[-1]}, {args.duration}s of virtual time each...")
+    cells = [
+        Cell(
+            fn=_chaos_campaign_cell,
+            args=(args.profile, seed, args.duration, args.replicas,
+                  args.partitions, args.topology, args.open_loop,
+                  args.admission),
+            label=f"seed {seed}",
+        )
+        for seed in seeds
+    ]
+    summaries = run_cells(cells, jobs=args.jobs)
+    ok = True
+    for summary in summaries:
+        status = "ok" if not summary["failures"] else "FAIL"
+        print(f"  seed {summary['seed']}: {status}  "
+              f"digest {summary['digest'][:16]}  "
+              f"{summary['committed']} committed, "
+              f"{summary['fault_events']} fault events, "
+              f"{summary['invariants_checked']} invariants checked")
+        for failure in summary["failures"]:
+            ok = False
+            print(f"    invariant VIOLATED: {failure}")
+    merged = merge_registries([summary["registry"] for summary in summaries])
+    total = sum(summary["committed"] for summary in summaries)
+    print(f"campaign total: {total} committed across {len(seeds)} seeds; "
+          f"{len(merged.snapshot())} merged instrument(s)")
+    print("each seed reproduces bit-for-bit: rerun any one with "
+          "`repro chaos --seed N`")
+    return 0 if ok else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.config import ClusterConfig
+    from repro.core.cluster import CalvinCluster
+    from repro.core.traffic import ClientProfile
+    from repro.workloads.microbenchmark import Microbenchmark
+
+    if args.seeds > 1:
+        return _chaos_campaign(args)
     open_loop = args.open_loop is not None
     config = ClusterConfig(
         num_partitions=args.partitions,
@@ -434,16 +611,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     cluster.run(duration=args.duration)
     cluster.quiesce()
 
-    checks = [
-        ("serializability", checkers.check_serializability),
-        ("conflict order", checkers.check_conflict_order),
-        ("replica consistency", lambda c: checkers.check_replica_consistency(c) or 0),
-        ("epoch contiguity", checkers.check_epoch_contiguity),
-        ("no double-apply", checkers.check_no_double_apply),
-        ("no lost commits", checkers.check_no_lost_commits),
-        ("replica prefix consistency", checkers.check_replica_prefix_consistency),
-    ]
-    for name, check in checks:
+    for name, check in _chaos_checks():
         count = check(cluster)
         print(f"  invariant ok: {name} ({count} checked)")
     print(f"committed {cluster.metrics.committed} txns; "
@@ -568,6 +736,7 @@ def cmd_bench_saturation(args: argparse.Namespace) -> int:
         policy=args.policy,
         arrival=args.arrival,
         partitions=args.partitions,
+        jobs=args.jobs,
     )
     print(result)
     if args.chart:
@@ -598,6 +767,7 @@ def cmd_bench_geo(args: argparse.Namespace) -> int:
         seed=args.seed,
         topology=args.topology,
         partitions=args.partitions,
+        jobs=args.jobs,
     )
     print(collapse)
     print()
@@ -649,6 +819,7 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         partitions=args.partitions,
         engines=engines,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
+        jobs=args.jobs,
         **kwargs,
     )
     print(result)
@@ -673,19 +844,35 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.bench_command != "perf":
         parser.parse_args(["bench", "--help"])
         return 2
+    if args.profile:
+        print(f"profiling {args.profile} "
+              f"({'quick' if args.quick else 'full'} window)...",
+              file=sys.stderr)
+        table, dumped = perf.profile_config(
+            args.profile, quick=args.quick, out=args.profile_out,
+            top_n=args.top,
+        )
+        print(table, end="")
+        if dumped:
+            print(f"wrote {dumped} (raw pstats: "
+                  f"`python -m pstats {dumped}` or snakeviz)")
+        return 0
     mode = "quick" if args.quick else "full"
     print(f"running perf benchmark ({mode} mode)...", file=sys.stderr)
-    result = perf.run_perf(quick=args.quick)
+    result = perf.run_perf(quick=args.quick, jobs=args.jobs)
     for name, record in result["configs"].items():
         print(f"  {name}: {record['events_per_sec']:,.0f} ev/s, "
               f"{record['txns_per_sec']:,.0f} txn/s "
               f"({record['events']} events in {record['wall_seconds']:.2f}s)")
-    print(f"  calibration: {result['calibration_ops_per_sec']:,.0f} ops/s")
+    print(f"  calibration: {result['calibration_ops_per_sec']:,.0f} ops/s "
+          f"(accel={'on' if result['accel'] else 'off'})")
     if not args.no_write:
         with open(args.out, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}")
+        if not args.no_history:
+            print(f"appended {perf.append_history(result, args.history)}")
     if args.check:
         with open(args.check) as handle:
             baseline = json.load(handle)

@@ -35,6 +35,7 @@ from typing import (
     Tuple,
 )
 
+from repro.accel import dispatch_core as _dispatch_core
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
@@ -188,7 +189,22 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
+        core = _dispatch_core()
         self._running = True
+        if core is not None:
+            # Accelerated path: the loop below, compiled. Bit-identical
+            # by contract (tests/test_accel.py); the reentrancy guard
+            # and sanitizer stay out here so both paths share them.
+            sanitizer = self._sanitizer
+            if sanitizer is not None:
+                sanitizer.__enter__()
+            try:
+                core.run_loop(self, until, max_events)
+            finally:
+                self._running = False
+                if sanitizer is not None:
+                    sanitizer.__exit__(None, None, None)
+            return self.now
         horizon = inf if until is None else until
         budget = inf if max_events is None else max_events
         heap = self._heap
@@ -240,6 +256,19 @@ class Simulator:
         ``max_events`` bounds dispatches exactly like :meth:`run` — a
         runaway guard for drains that never converge.
         """
+        core = _dispatch_core()
+        if core is not None:
+            sanitizer = self._sanitizer
+            if sanitizer is not None:
+                sanitizer.__enter__()
+            try:
+                core.run_until_loop(self, event, limit, max_events)
+            finally:
+                if sanitizer is not None:
+                    sanitizer.__exit__(None, None, None)
+            if event.ok:
+                return event.value
+            raise event.value
         horizon = inf if limit is None else limit
         budget = inf if max_events is None else max_events
         heap = self._heap

@@ -5,9 +5,11 @@ from __future__ import annotations
 from repro.bench.perf import (
     DEFAULT_THRESHOLD,
     PerfConfig,
+    append_history,
     calibration_ops_per_sec,
     canned_configs,
     compare,
+    profile_config,
     run_config,
 )
 from repro.cli import build_parser
@@ -122,3 +124,81 @@ def test_cli_parses_bench_perf_flags():
     assert args.quick and args.no_write
     assert args.check == "x.json"
     assert args.out == "BENCH_perf.json"
+    assert args.jobs is None
+    assert args.history == "BENCH_history.jsonl"
+    assert args.profile is None
+
+
+def test_cli_parses_jobs_and_profile_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["bench", "perf", "--jobs", "4", "--profile", "tpcc-4p",
+         "--profile-out", "x.prof", "--top", "10"]
+    )
+    assert args.jobs == 4
+    assert args.profile == "tpcc-4p"
+    assert args.profile_out == "x.prof"
+    assert args.top == 10
+
+
+# ---------------------------------------------------------------------------
+# Perf history: one timestamped JSONL row per written run
+# ---------------------------------------------------------------------------
+
+def _history_payload() -> dict:
+    return {
+        "schema": 1,
+        "mode": "quick",
+        "python": "3.11.0",
+        "accel": True,
+        "calibration_ops_per_sec": 1e6,
+        "configs": {
+            "micro-low": {
+                "events_per_sec": 90_000.0,
+                "txns_per_sec": 8_000.0,
+                "events": 1,       # dropped from history rows
+                "wall_seconds": 1,
+            }
+        },
+    }
+
+
+def test_append_history_writes_parseable_rows(tmp_path):
+    import json
+
+    path = tmp_path / "history.jsonl"
+    append_history(_history_payload(), str(path))
+    append_history(_history_payload(), str(path))
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(rows) == 2
+    row = rows[0]
+    assert row["accel"] is True
+    assert row["mode"] == "quick"
+    assert row["configs"]["micro-low"]["events_per_sec"] == 90_000.0
+    # Summary rows only — raw event counts stay in BENCH_perf.json.
+    assert "events" not in row["configs"]["micro-low"]
+    # ISO-8601 UTC timestamp, sortable as a string.
+    assert row["timestamp"].endswith("Z") and "T" in row["timestamp"]
+
+
+# ---------------------------------------------------------------------------
+# --profile: cProfile over one config's measured window
+# ---------------------------------------------------------------------------
+
+def test_profile_config_unknown_name():
+    import pytest
+
+    with pytest.raises(KeyError, match="no canned perf config"):
+        profile_config("no-such-config")
+
+
+def test_profile_config_emits_table_and_dump(tmp_path):
+    import pstats
+
+    out = tmp_path / "micro.prof"
+    table, dumped = profile_config("micro-low", quick=True, out=str(out), top_n=5)
+    assert dumped == str(out)
+    assert "cumulative" in table        # sorted by cumulative time
+    assert "function calls" in table
+    stats = pstats.Stats(str(out))      # the dump is loadable pstats data
+    assert stats.total_calls > 0
