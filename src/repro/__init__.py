@@ -47,6 +47,11 @@ Public surface (everything in ``__all__``; anything else is internal):
   :func:`random_plan`.
 - **Observability** — :class:`MetricsRegistry`, :class:`TraceRecorder`,
   :func:`trace_digest`.
+- **Control plane** — :class:`ClusterAdmin` (the single elastic
+  reconfiguration surface: ``split`` / ``merge`` / ``add_node`` /
+  ``remove_node`` / ``plan``), with :class:`MigrationPlan` and
+  :class:`ReconfigEvent` as its immutable records; see
+  docs/reconfiguration.md.
 - **Determinism analysis** — :func:`lint_paths` (the ``repro lint``
   entry point), :class:`DeterminismSanitizer` (runtime trip wires,
   also reachable as ``ClusterConfig(sanitize=True)``), and
@@ -90,6 +95,7 @@ from repro.faults import (
     random_plan,
 )
 from repro.obs import MetricsRegistry, TraceRecorder, trace_digest
+from repro.reconfig import ClusterAdmin, MigrationPlan, ReconfigEvent
 from repro.txn import (
     Footprint,
     Procedure,
@@ -114,6 +120,7 @@ __all__ = [
     "CalvinCluster",
     "CalvinDB",
     "ClientProfile",
+    "ClusterAdmin",
     "ClusterConfig",
     "ConfigError",
     "ConsistencyError",
@@ -131,8 +138,10 @@ __all__ = [
     "Metrics",
     "MetricsRegistry",
     "Microbenchmark",
+    "MigrationPlan",
     "Procedure",
     "ProcedureRegistry",
+    "ReconfigEvent",
     "ReproError",
     "RunReport",
     "TpccWorkload",

@@ -89,7 +89,7 @@ DET005_ENV_WHITELIST = ("cli.py", "config.py")
 #: emission, or digests (DET003/DET006 set-sum scope).
 CRITICAL_PACKAGES = (
     "sim/", "net/", "sequencer/", "scheduler/", "paxos/", "faults/", "obs/",
-    "geo/",
+    "geo/", "reconfig/",
 )
 
 #: Calls through which a set's iteration order escapes into an ordered

@@ -39,10 +39,17 @@ Commands:
   shoot-out: sweep contention × multipartition-% across the registered
   execution engines (Calvin core, 2PL+2PC baseline, STAR) and print one
   throughput table with a single-node reference column.
-- ``bench geo [--scale S | --smoke] [--seed N] [--topology T]
+- ``bench geo [--scale S] [--seed N] [--topology T]
   [--partitions K]`` — the geo curves: WAN contention collapse over a
   routed multi-hop topology, and replica-local read throughput vs
   freshness; prints a deterministic digest over both tables.
+  (``--smoke`` still parses as a deprecated alias for ``--scale smoke``.)
+- ``bench elastic [--scale S] [--seed N] [--partitions K]
+  [--policy P]`` — the elastic-reconfiguration sweep: drive a
+  half-active cluster past its admission knee, then split a hot
+  partition, retire an origin, and let the autoscaler do both from
+  saturation signals; one shape digest per scenario plus a combined
+  digest over the whole sweep.
 - ``topology show [preset] [--replicas N] [--wan-latency S]
   [--wan-bandwidth B]`` — print a geo preset's datacenters, links and
   deterministic route table.
@@ -61,10 +68,16 @@ of the command, so any ambient randomness / wall-clock / entropy call
 raises ``DeterminismViolation`` instead of silently diverging replicas.
 
 Sweep-shaped commands (``run`` of a grid experiment, ``bench
-perf|compare|geo|saturation``, ``chaos --seeds K``) accept ``--jobs N``
-to fan independent cells across worker processes; every cell builds its
-own cluster from an explicit seed, so results are byte-identical at any
-job count.
+perf|compare|geo|saturation|elastic``, ``chaos --seeds K``) accept
+``--jobs N`` to fan independent cells across worker processes; every
+cell builds its own cluster from an explicit seed, so results are
+byte-identical at any job count.
+
+The cross-command flags (``--seed``, ``--topology``, ``--sanitize``,
+``--jobs``) are declared once in :func:`common_parent` and mounted per
+subcommand, so spellings, defaults and help text cannot drift; changed
+spellings keep working through a warn-once deprecation shim
+(:func:`_warn_deprecated_spelling`).
 """
 
 from __future__ import annotations
@@ -72,7 +85,8 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional, Set
 
 from repro.bench.io import save_csv, save_json
 
@@ -95,6 +109,48 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
+def common_parent(
+    *,
+    seed: Optional[int] = 2012,
+    topology: bool = False,
+    topology_default: Optional[str] = None,
+    sanitize: bool = False,
+    jobs: bool = False,
+) -> argparse.ArgumentParser:
+    """The one definition of the cross-command run flags.
+
+    ``--seed``, ``--topology``, ``--sanitize`` and ``--jobs`` used to be
+    re-declared per subcommand with drifting help strings; every
+    subcommand now mounts the subset it supports from this shared parent
+    (``add_parser(..., parents=[common_parent(...)])``), so spelling,
+    defaults and help text stay consistent across the whole CLI.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if seed is not None:
+        parent.add_argument("--seed", type=int, default=seed)
+    if topology:
+        parent.add_argument(
+            "--topology", default=topology_default,
+            choices=("chain", "ring", "mesh", "hub"),
+            help="geo topology preset: route WAN traffic over a datacenter "
+                 "graph (one DC per replica) instead of the flat WAN pair",
+        )
+    if sanitize:
+        parent.add_argument(
+            "--sanitize", action="store_true",
+            help="arm the runtime determinism sanitizer: ambient randomness, "
+                 "wall-clock and entropy calls raise DeterminismViolation",
+        )
+    if jobs:
+        parent.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="fan independent sweep cells across N worker processes "
+                 "(0 = one per core; default serial); results are "
+                 "byte-identical at any job count",
+        )
+    return parent
+
+
 def _add_run_flags(
     parser: argparse.ArgumentParser,
     *,
@@ -102,40 +158,50 @@ def _add_run_flags(
     replicas: int,
     partitions: int = 2,
 ) -> None:
-    """Workload/run flags shared by the ``chaos`` and ``trace`` commands."""
-    parser.add_argument("--seed", type=int, default=2012)
+    """Workload-shape flags shared by ``chaos``, ``trace`` and ``bisect``
+    (the cross-command flags come from :func:`common_parent`)."""
     parser.add_argument("--duration", type=float, default=duration,
                         help="measured virtual seconds")
     parser.add_argument("--replicas", type=int, default=replicas,
                         help="replica count (paxos replication when > 1)")
     parser.add_argument("--partitions", type=int, default=partitions)
-    _add_topology_flag(parser)
-    _add_sanitize_flag(parser)
 
 
-def _add_topology_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--topology", default=None,
-        choices=("chain", "ring", "mesh", "hub"),
-        help="geo topology preset: route WAN traffic over a datacenter "
-             "graph (one DC per replica) instead of the flat WAN pair",
+def config_from_args(args: argparse.Namespace, **overrides):
+    """Build the :class:`ClusterConfig` the run-flag commands share.
+
+    Maps the :func:`common_parent` / :func:`_add_run_flags` namespace
+    onto config fields (including the replicas → replication-mode rule
+    every command used to restate inline); ``overrides`` win over the
+    derived values.
+    """
+    from repro.config import ClusterConfig
+
+    replicas = getattr(args, "replicas", 1)
+    values = dict(
+        num_partitions=getattr(args, "partitions", 2),
+        num_replicas=replicas,
+        replication_mode="paxos" if replicas > 1 else "none",
+        seed=args.seed,
+        topology=getattr(args, "topology", None),
+        sanitize=getattr(args, "sanitize", False),
     )
+    values.update(overrides)
+    return ClusterConfig(**values)
 
 
-def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--sanitize", action="store_true",
-        help="arm the runtime determinism sanitizer: ambient randomness, "
-             "wall-clock and entropy calls raise DeterminismViolation",
-    )
+# Flag spellings that changed keep working through a warn-once shim.
+_warned_spellings: Set[str] = set()
 
 
-def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="fan independent sweep cells across N worker processes "
-             "(0 = one per core; default serial); results are "
-             "byte-identical at any job count",
+def _warn_deprecated_spelling(old: str, new: str) -> None:
+    if old in _warned_spellings:
+        return
+    _warned_spellings.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
@@ -148,22 +214,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="list reproducible experiments")
 
-    run = sub.add_parser("run", help="run one experiment")
+    run = sub.add_parser(
+        "run", help="run one experiment",
+        parents=[common_parent(sanitize=True, jobs=True)],
+    )
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", default="quick", choices=("smoke", "quick", "full"))
-    run.add_argument("--seed", type=int, default=2012)
     run.add_argument("--json", metavar="FILE", help="also write the table as JSON")
     run.add_argument("--csv", metavar="FILE", help="also write the table as CSV")
     run.add_argument(
         "--chart", action="store_true", help="render the table as ASCII bars"
     )
-    _add_jobs_flag(run)
-    _add_sanitize_flag(run)
 
     sub.add_parser("demo", help="run a small guided demo")
 
     chaos = sub.add_parser(
-        "chaos", help="run a workload under fault injection and verify invariants"
+        "chaos", help="run a workload under fault injection and verify invariants",
+        parents=[common_parent(topology=True, sanitize=True, jobs=True)],
     )
     from repro.faults.profiles import FAULT_PROFILES
 
@@ -183,10 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign mode: run K consecutive seeds "
                             "(--seed .. --seed+K-1), verify every invariant "
                             "per seed, and print one digest per seed")
-    _add_jobs_flag(chaos)
 
     trace = sub.add_parser(
-        "trace", help="trace the microbenchmark and print latency breakdowns"
+        "trace", help="trace the microbenchmark and print latency breakdowns",
+        parents=[common_parent(topology=True, sanitize=True)],
     )
     trace.add_argument("--system", default="both",
                        choices=("calvin", "baseline", "star", "both", "all"),
@@ -219,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf = bench_sub.add_parser(
         "perf",
         help="measure events/sec + txns/sec on the canned config matrix",
+        parents=[common_parent(seed=None, sanitize=True, jobs=True)],
     )
     perf.add_argument("--quick", action="store_true",
                       help="short durations (CI smoke)")
@@ -247,15 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "run (default BENCH_history.jsonl)")
     perf.add_argument("--no-history", action="store_true",
                       help="skip the history append")
-    _add_jobs_flag(perf)
-    _add_sanitize_flag(perf)
     saturation = bench_sub.add_parser(
         "saturation",
         help="sweep open-loop offered load across the admission knee",
+        parents=[common_parent(sanitize=True, jobs=True)],
     )
     saturation.add_argument("--scale", default="quick",
                             choices=("smoke", "quick", "full"))
-    saturation.add_argument("--seed", type=int, default=2012)
     saturation.add_argument("--policy", default="backpressure",
                             choices=("queue", "shed", "backpressure"))
     saturation.add_argument("--arrival", default="poisson",
@@ -267,19 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the curve as CSV")
     saturation.add_argument("--chart", action="store_true",
                             help="render the curve as ASCII bars")
-    _add_jobs_flag(saturation)
-    _add_sanitize_flag(saturation)
     shootout = bench_sub.add_parser(
         "compare",
         help="three-system shoot-out: contention × multipartition-% "
              "sweep across execution engines",
+        parents=[common_parent(sanitize=True, jobs=True)],
     )
     shootout.add_argument("--engines", default="core,baseline,star",
                           help="comma-separated engine list "
                                "(default core,baseline,star)")
     shootout.add_argument("--scale", default="smoke",
                           choices=("smoke", "quick", "full"))
-    shootout.add_argument("--seed", type=int, default=2012)
     shootout.add_argument("--partitions", type=int, default=4)
     shootout.add_argument("--mp", metavar="LIST", default=None,
                           help="comma-separated multipartition fractions, "
@@ -291,28 +355,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the table as JSON")
     shootout.add_argument("--csv", metavar="FILE",
                           help="also write the table as CSV")
-    _add_jobs_flag(shootout)
-    _add_sanitize_flag(shootout)
 
     geo = bench_sub.add_parser(
         "geo",
         help="geo curves: WAN contention collapse + replica-local reads",
+        parents=[common_parent(topology=True, topology_default="chain",
+                               sanitize=True, jobs=True)],
     )
     geo.add_argument("--scale", default="quick",
                      choices=("smoke", "quick", "full"))
     geo.add_argument("--smoke", action="store_true",
-                     help="alias for --scale smoke (CI)")
-    geo.add_argument("--seed", type=int, default=2012)
-    geo.add_argument("--topology", default="chain",
-                     choices=("chain", "ring", "mesh", "hub"),
-                     help="topology for the contention sweep (default chain)")
+                     help="deprecated alias for --scale smoke")
     geo.add_argument("--partitions", type=int, default=2)
     geo.add_argument("--json", metavar="PREFIX",
                      help="also write the tables as PREFIX-<experiment>.json")
     geo.add_argument("--csv", metavar="PREFIX",
                      help="also write the tables as PREFIX-<experiment>.csv")
-    _add_jobs_flag(geo)
-    _add_sanitize_flag(geo)
+
+    elastic = bench_sub.add_parser(
+        "elastic",
+        help="elastic reconfiguration sweep: split/resize/autoscale under "
+             "open-loop overload, one shape digest per scenario",
+        parents=[common_parent(sanitize=True, jobs=True)],
+    )
+    elastic.add_argument("--scale", default="quick",
+                         choices=("smoke", "quick", "full"))
+    elastic.add_argument("--partitions", type=int, default=4,
+                         help="provisioned partitions; half start active, "
+                              "the rest are dormant spares (default 4)")
+    elastic.add_argument("--policy", default="backpressure",
+                         choices=("queue", "shed", "backpressure"))
+    elastic.add_argument("--json", metavar="FILE",
+                         help="also write the table as JSON")
+    elastic.add_argument("--csv", metavar="FILE",
+                         help="also write the table as CSV")
 
     topology = sub.add_parser(
         "topology", help="inspect geo topology presets and their routes"
@@ -363,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     bisect = sub.add_parser(
         "bisect",
         help="run the same seed twice and locate the first divergent epoch",
+        parents=[common_parent(topology=True, sanitize=True)],
     )
     _add_run_flags(bisect, duration=0.3, replicas=1)
     bisect.add_argument("--profile", default=None,
@@ -568,7 +645,6 @@ def _chaos_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.config import ClusterConfig
     from repro.core.cluster import CalvinCluster
     from repro.core.traffic import ClientProfile
     from repro.workloads.microbenchmark import Microbenchmark
@@ -576,17 +652,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.seeds > 1:
         return _chaos_campaign(args)
     open_loop = args.open_loop is not None
-    config = ClusterConfig(
-        num_partitions=args.partitions,
-        num_replicas=args.replicas,
-        replication_mode="paxos" if args.replicas > 1 else "none",
-        seed=args.seed,
+    config = config_from_args(
+        args,
         fault_profile=args.profile,
         fault_horizon=args.duration * 0.85,
         admission_policy=args.admission if open_loop else "none",
         admission_epoch_budget=20 if open_loop else None,
-        topology=args.topology,
-        sanitize=args.sanitize,
     )
     cluster = CalvinCluster(
         config,
@@ -646,15 +717,10 @@ def _traced_microbenchmark(system: str, args: argparse.Namespace):
     if system == "calvin":
         from repro.core.cluster import CalvinCluster
 
-        config = ClusterConfig(
-            num_partitions=args.partitions,
-            num_replicas=args.replicas,
-            replication_mode="paxos" if args.replicas > 1 else "none",
-            seed=args.seed,
+        config = config_from_args(
+            args,
             fault_profile=args.profile,
             fault_horizon=args.duration * 0.85,
-            topology=args.topology,
-            sanitize=args.sanitize,
         )
         cluster = CalvinCluster(config, workload=workload, tracer=tracer)
     elif system == "star":
@@ -758,6 +824,8 @@ def cmd_bench_saturation(args: argparse.Namespace) -> int:
 def cmd_bench_geo(args: argparse.Namespace) -> int:
     from repro.bench import geo
 
+    if args.smoke:
+        _warn_deprecated_spelling("bench geo --smoke", "--scale smoke")
     scale = "smoke" if args.smoke else args.scale
     print(f"geo curves ({scale} scale, seed {args.seed}, "
           f"{args.topology} topology, {args.partitions} partitions)...",
@@ -779,6 +847,31 @@ def cmd_bench_geo(args: argparse.Namespace) -> int:
             print(f"wrote {save_json(result, f'{args.json}-{result.experiment}.json')}")
         if args.csv:
             print(f"wrote {save_csv(result, f'{args.csv}-{result.experiment}.csv')}")
+    return 0
+
+
+def cmd_bench_elastic(args: argparse.Namespace) -> int:
+    from repro.bench import elastic
+
+    print(f"elastic reconfiguration sweep ({args.scale} scale, "
+          f"seed {args.seed}, {args.partitions} partitions, "
+          f"policy {args.policy})...",
+          file=sys.stderr)
+    result, digest = elastic.run(
+        scale=args.scale,
+        seed=args.seed,
+        partitions=args.partitions,
+        policy=args.policy,
+        jobs=args.jobs,
+    )
+    print(result)
+    print(f"\nelastic digest {digest}")
+    print("rerun with the same seed (any --jobs) to reproduce this "
+          "digest bit-for-bit")
+    if args.json:
+        print(f"wrote {save_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote {save_csv(result, args.csv)}")
     return 0
 
 
@@ -839,6 +932,8 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return cmd_bench_saturation(args)
     if args.bench_command == "geo":
         return cmd_bench_geo(args)
+    if args.bench_command == "elastic":
+        return cmd_bench_elastic(args)
     if args.bench_command == "compare":
         return cmd_bench_compare(args)
     if args.bench_command != "perf":
@@ -913,21 +1008,15 @@ def cmd_bisect(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis import bisect_runs
-    from repro.config import ClusterConfig
     from repro.core.cluster import CalvinCluster
     from repro.core.traffic import ClientProfile
     from repro.obs import TraceRecorder
     from repro.workloads.microbenchmark import Microbenchmark
 
-    config = ClusterConfig(
-        num_partitions=args.partitions,
-        num_replicas=args.replicas,
-        replication_mode="paxos" if args.replicas > 1 else "none",
-        seed=args.seed,
+    config = config_from_args(
+        args,
         fault_profile=args.profile,
         fault_horizon=args.duration * 0.85,
-        topology=args.topology,
-        sanitize=args.sanitize,
     )
 
     def build_and_run(index: int):

@@ -160,6 +160,15 @@ class ClusterConfig:
     # Virtual-time horizon the profile's schedule is stretched over —
     # should cover the measured run so every fault fires and heals.
     fault_horizon: float = 2.0
+    # -- elastic reconfiguration (see repro.reconfig) ---------------------
+    # Number of initially active partitions; None = every partition is
+    # active from the start. When set below num_partitions, the
+    # remaining partitions are pre-provisioned spares: their nodes are
+    # built and their schedulers follow the epoch stream from epoch 0,
+    # but their sequencers stay dormant (no epoch batches, no client
+    # input) until ClusterAdmin.add_node arms a join epoch. Requires
+    # the core engine; incompatible with partial_hosting.
+    active_partitions: Optional[int] = None
     # -- STAR engine knobs (engine="star"; ignored elsewhere) -------------
     # The full-replica node that drains the multipartition backlog
     # during single-master phases.
@@ -276,6 +285,17 @@ class ClusterConfig:
                 raise ConfigError(
                     "partial_hosting needs num_replicas >= 2 (replica 0 "
                     "already hosts everything)"
+                )
+        if self.active_partitions is not None:
+            if not 1 <= self.active_partitions <= self.num_partitions:
+                raise ConfigError(
+                    "active_partitions must be in [1, num_partitions]"
+                )
+            if self.engine != "core":
+                raise ConfigError("active_partitions requires the core engine")
+            if self.partial_hosting is not None:
+                raise ConfigError(
+                    "active_partitions cannot be combined with partial_hosting"
                 )
         # Imported lazily: repro.engines imports this module.
         from repro.engines import ENGINES

@@ -61,6 +61,15 @@ class ClosedLoopClient:
     def start(self) -> None:
         self._submit_new()
 
+    def redirect(self, partition: int) -> None:
+        """Re-home this client onto another origin partition.
+
+        Scheduled by the control plane when this client's origin leaves
+        the cluster; the next submission targets the new origin.
+        """
+        self.partition = partition
+        self._target = node_address(NodeId(0, partition))
+
     @property
     def idle(self) -> bool:
         """True when nothing is outstanding and no resubmission is due."""

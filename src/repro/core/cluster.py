@@ -18,7 +18,13 @@ from repro.core.node import CalvinNode
 from repro.core.traffic import ClientProfile, OpenLoopClient
 from repro.errors import ConfigError, RecoveryError
 from repro.obs import MetricsRegistry, NULL_RECORDER, TraceRecorder
-from repro.partition.catalog import Catalog, NodeId
+from repro.partition.catalog import (
+    Catalog,
+    MIGRATION_PROC,
+    NodeId,
+    is_migration_txn,
+    migration_route,
+)
 from repro.partition.partitioner import Key, Partitioner, warm_sort_tokens
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -105,6 +111,14 @@ class CalvinCluster:
         if registry is None or partitioner is None:
             raise ConfigError("cluster needs a workload, or registry + partitioner")
         self.registry = registry
+        # The serial reference checker must be able to execute any
+        # procedure appearing in the history, including control-plane
+        # migrations; the identity-copy reference logic is inert unless
+        # a migration is actually sequenced.
+        if MIGRATION_PROC not in registry:
+            from repro.reconfig.procedure import migration_procedure
+
+            registry.register(migration_procedure())
         self.catalog = Catalog(config, partitioner)
 
         self.sim = Simulator(sanitize=config.sanitize)
@@ -144,6 +158,16 @@ class CalvinCluster:
                 participant.register_metrics(self.metrics_registry, f"{prefix}.paxos")
             if node.sequencer.admission is not None:
                 node.sequencer.admission.register_metrics(self.metrics_registry, prefix)
+
+        # Elastic reconfiguration: spare partitions exist from the
+        # start but their sequencers stay dormant until the control
+        # plane activates them (repro.reconfig.ClusterAdmin.add_node).
+        self.reconfig_admin: Optional[Any] = None
+        if self.catalog.has_reconfig:
+            active = set(self.catalog.initial_origins)
+            for node_id, node in self.nodes.items():
+                if node_id.partition not in active:
+                    node.sequencer.dormant = True
 
         self.clients: List[AnyClient] = []
         self.checkpoints: Dict[int, CheckpointSnapshot] = {}
@@ -246,9 +270,17 @@ class CalvinCluster:
         self._txn_counter += 1
         return self._txn_counter
 
+    def current_epoch(self) -> int:
+        """The sequencing epoch covering the present instant."""
+        return int(self.sim.now / self.config.epoch_duration)
+
     def analytics_read(self, key: Key) -> Any:
         """Unsequenced snapshot read (OLLP reconnaissance path)."""
-        partition = self.catalog.partition_of(key)
+        catalog = self.catalog
+        if catalog.has_reconfig:
+            partition = catalog.partition_of_at(key, self.current_epoch())
+        else:
+            partition = catalog.partition_of(key)
         return self.node(0, partition).store.get(key)
 
     # -- data loading -----------------------------------------------------------
@@ -325,7 +357,14 @@ class CalvinCluster:
         if workload is None:
             raise ConfigError("no workload for clients")
         created: List[AnyClient] = []
-        for partition in range(self.config.num_partitions):
+        # Under elastic reconfiguration only active origins accept
+        # input; spares get their clients when the control plane (or
+        # the autoscaler) redirects traffic to them.
+        if self.catalog.has_reconfig:
+            partitions: Iterable[int] = self.catalog.initial_origins
+        else:
+            partitions = range(self.config.num_partitions)
+        for partition in partitions:
             for _ in range(profile.per_partition):
                 index = len(self.clients)
                 client: AnyClient
@@ -370,6 +409,7 @@ class CalvinCluster:
                 node.scheduler.outstanding == 0
                 and node.scheduler.admission_backlog == 0
                 and not node.sequencer._buffer
+                and not node.sequencer.pending_config_txns
                 and (
                     node.sequencer.admission is None
                     or node.sequencer.admission.queue_depth == 0
@@ -390,7 +430,13 @@ class CalvinCluster:
                 for node_id in self.catalog.nodes()
                 if node_id.replica != 0
             )
-            if clients_idle and nodes_idle and replicas_aligned:
+            # In-flight control-plane actions (armed-but-unsequenced
+            # migrations, pending joins/leaves) must land before the
+            # cluster counts as drained.
+            reconfig_idle = (
+                self.reconfig_admin is None or self.reconfig_admin.quiesced
+            )
+            if clients_idle and nodes_idle and replicas_aligned and reconfig_idle:
                 return
         raise ConfigError(f"cluster failed to quiesce within {timeout}s")
 
@@ -521,7 +567,11 @@ class CalvinCluster:
     def snapshot_read(self, key: Key, replica: int = 0) -> Any:
         """A low-consistency read served by any replica (possibly stale —
         the "multiple consistency levels" the abstract mentions)."""
-        partition = self.catalog.partition_of(key)
+        catalog = self.catalog
+        if catalog.has_reconfig:
+            partition = catalog.partition_of_at(key, self.current_epoch())
+        else:
+            partition = catalog.partition_of(key)
         return self.node(replica, partition).store.get(key)
 
     def admission_stats(self) -> Dict[str, int]:
@@ -648,8 +698,44 @@ class CalvinCluster:
                 f"log entry epoch {ordered[0].epoch} precedes checkpoint "
                 f"epoch {start_epoch}"
             )
+        cluster._rearm_reconfig(ordered)
         for entry in ordered:
             node = cluster.node(0, entry.origin_partition)
             node.sequencer.dispatch(entry.epoch, entry.txns)
         cluster.run_until_idle()
         return cluster
+
+    def _rearm_reconfig(self, ordered: List[LogEntry]) -> None:
+        """Reconstruct the epoch-keyed routing and origin timeline from
+        a log containing control-plane activity (replay path).
+
+        Both are derivable from the log alone: each migration carries
+        its (source, dest) route and moving keys in the sequenced
+        transaction, and every active sequencer logs one entry per
+        epoch (empty batches included), so the per-epoch origin sets
+        fall out of the entries themselves. A log with no migrations
+        and a constant origin set leaves the catalog untouched — the
+        static replay path stays byte-identical.
+        """
+        catalog = self.catalog
+        per_epoch: Dict[int, set] = {}
+        migrations: List[Tuple[int, Transaction]] = []
+        for entry in ordered:
+            per_epoch.setdefault(entry.epoch, set()).add(entry.origin_partition)
+            for txn in entry.txns:
+                if is_migration_txn(txn):
+                    migrations.append((entry.epoch, txn))
+        initial = set(catalog.initial_origins)
+        if not migrations and all(
+            origins == initial for origins in per_epoch.values()
+        ):
+            return
+        for epoch, txn in migrations:  # entry order == epoch order
+            dest = migration_route(txn)[1]
+            catalog.arm_override(epoch, {key: dest for key in txn.write_set})
+        current = initial
+        for epoch in sorted(per_epoch):
+            origins = per_epoch[epoch]
+            if origins != current:
+                catalog.arm_origin_change(epoch, origins)
+                current = origins

@@ -159,6 +159,17 @@ class OpenLoopClient:
         """Stop generating new arrivals (outstanding requests drain)."""
         self._stopped = True
 
+    def redirect(self, partition: int) -> None:
+        """Re-home this client onto another origin partition.
+
+        The control plane schedules the redirect at the retiring
+        origin's hand-off time, so every same-seed run moves the same
+        clients at the same instant. Replies for in-flight requests
+        still arrive (the reply path uses the client address).
+        """
+        self.partition = partition
+        self._target = node_address(NodeId(0, partition))
+
     @property
     def finished(self) -> bool:
         """All bounded arrivals generated (never True when unbounded)."""
@@ -377,6 +388,17 @@ class AdmissionController:
         queue = self._queue
         while queue and self._admitted_this_epoch < self.budget:
             self._admit(queue.popleft())
+
+    def drain(self) -> Tuple[Transaction, ...]:
+        """Empty the queue and return its contents in FIFO order.
+
+        Used by a retiring sequencer's hand-off: queued-but-unadmitted
+        transactions are forwarded to the successor origin instead of
+        being stranded on a partition that no longer sequences input.
+        """
+        leftovers = tuple(self._queue)
+        self._queue.clear()
+        return leftovers
 
     # -- observability -----------------------------------------------------
 

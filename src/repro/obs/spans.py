@@ -52,6 +52,9 @@ class SpanKind(enum.Enum):
     # One WAN hop of a routed message between datacenters (geo
     # topologies only); detail carries the (src_dc, dst_dc) link.
     HOP = "hop"
+    # A control-plane reconfiguration action (split/merge/join/leave);
+    # detail carries the ReconfigEvent summary (see repro.reconfig).
+    RECONFIG = "reconfig"
 
     def __str__(self) -> str:  # pragma: no cover - presentation
         return self.value

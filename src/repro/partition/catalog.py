@@ -12,12 +12,30 @@ degenerates to the dense ``range`` answer, byte for byte.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.config import ClusterConfig
 from repro.errors import ConfigError
 from repro.partition.partitioner import Key, Partitioner
+
+# Procedure name of the control-plane migration transaction (see
+# repro.reconfig): a MigrationTxn copies a key range from its source to
+# its destination partition *through* the sequenced log. It lives here
+# (not in repro.reconfig) so the routing layer and the data plane can
+# recognise it without importing the control plane.
+MIGRATION_PROC = "__migration__"
+
+
+def is_migration_txn(txn) -> bool:
+    """True when ``txn`` is a control-plane key-range migration."""
+    return txn.procedure == MIGRATION_PROC
+
+
+def migration_route(txn) -> Tuple[int, int]:
+    """(source, dest) partitions of a migration transaction."""
+    return txn.args[1], txn.args[2]
 
 
 @dataclass(frozen=True, order=True)
@@ -67,6 +85,21 @@ class Catalog:
             self._hosted_sorted = tuple(
                 tuple(hosted) for hosted in config.partial_hosting
             )
+        # -- elastic reconfiguration (repro.reconfig) --------------------
+        # Epoch-keyed routing overrides and origin membership, both
+        # versioned: entry i covers every epoch >= its effective epoch.
+        # ``has_reconfig`` stays False until spares are configured or
+        # the first override / membership change is armed; every hot
+        # path keeps the static fast path while it is False, so an idle
+        # cluster is byte-identical to the pre-reconfig code.
+        active = config.active_partitions
+        initial = config.num_partitions if active is None else active
+        self._origin_epochs: List[int] = [0]
+        self._origin_sets: List[Tuple[int, ...]] = [tuple(range(initial))]
+        self._override_epochs: List[int] = []
+        self._override_maps: List[Dict[Key, int]] = []
+        self._overridden_keys: Set[Key] = set()
+        self.has_reconfig: bool = active is not None
 
     @property
     def num_partitions(self) -> int:
@@ -161,3 +194,136 @@ class Catalog:
             for key in keys:
                 add(partition_of(key))
         return out
+
+    # -- elastic reconfiguration (repro.reconfig) -------------------------
+
+    @property
+    def initial_origins(self) -> Tuple[int, ...]:
+        """Active input partitions at epoch 0."""
+        return self._origin_sets[0]
+
+    def origins_at(self, epoch: int) -> Tuple[int, ...]:
+        """Sorted active input partitions (origins) covering ``epoch``."""
+        idx = bisect_right(self._origin_epochs, epoch) - 1
+        return self._origin_sets[idx]
+
+    def arm_origin_change(self, effective_epoch: int, origins) -> None:
+        """Change the active-origin set from ``effective_epoch`` on.
+
+        Every scheduler's epoch barrier consults :meth:`origins_at`, so
+        arming the same change on every replica (which the control plane
+        does deterministically) makes all of them flip identically.
+        """
+        origins = tuple(sorted(set(origins)))
+        if not origins:
+            raise ConfigError("origin set cannot be empty")
+        for origin in origins:
+            if not 0 <= origin < self.num_partitions:
+                raise ConfigError(f"unknown origin partition {origin}")
+        last = self._origin_epochs[-1]
+        if effective_epoch < last:
+            raise ConfigError(
+                "origin changes must be armed in epoch order "
+                f"(got {effective_epoch} after {last})"
+            )
+        if effective_epoch == last:
+            self._origin_sets[-1] = origins
+        else:
+            self._origin_epochs.append(effective_epoch)
+            self._origin_sets.append(origins)
+        self.has_reconfig = True
+
+    def arm_override(self, effective_epoch: int, moves: Dict[Key, int]) -> None:
+        """Route each key in ``moves`` to a new partition from
+        ``effective_epoch`` on (cumulative over earlier overrides).
+
+        The data copy itself is a sequenced :data:`MIGRATION_PROC`
+        transaction ordered first within ``effective_epoch``; arming the
+        override only changes *routing*, which every replica derives
+        from the same epoch number.
+        """
+        if not moves:
+            raise ConfigError("routing override moves no keys")
+        for key, dest in moves.items():
+            if not 0 <= dest < self.num_partitions:
+                raise ConfigError(
+                    f"override routes {key!r} to unknown partition {dest}"
+                )
+        if self._override_epochs and effective_epoch < self._override_epochs[-1]:
+            raise ConfigError(
+                "routing overrides must be armed in epoch order "
+                f"(got {effective_epoch} after {self._override_epochs[-1]})"
+            )
+        if self._override_epochs and effective_epoch == self._override_epochs[-1]:
+            self._override_maps[-1] = {**self._override_maps[-1], **moves}
+        else:
+            base = self._override_maps[-1] if self._override_maps else {}
+            self._override_epochs.append(effective_epoch)
+            self._override_maps.append({**base, **moves})
+        self._overridden_keys.update(moves)
+        self.has_reconfig = True
+
+    def routing_version_at(self, epoch: int) -> int:
+        """Index of the routing version covering ``epoch`` (0 = static)."""
+        return bisect_right(self._override_epochs, epoch)
+
+    def partition_of_at(self, key: Key, epoch: int) -> int:
+        """Partition holding ``key`` under the routing of ``epoch``."""
+        if key in self._overridden_keys:
+            idx = bisect_right(self._override_epochs, epoch) - 1
+            if idx >= 0:
+                dest = self._override_maps[idx].get(key)
+                if dest is not None:
+                    return dest
+        return self.partition_of(key)
+
+    def partitions_of_at(self, keys, epoch: int) -> Set[int]:
+        """The set of partitions covering ``keys`` at ``epoch``."""
+        if not self._override_epochs:
+            return self.partitions_of(keys)
+        partition_of_at = self.partition_of_at
+        return {partition_of_at(key, epoch) for key in keys}
+
+    def participants_at(self, txn, epoch: int) -> FrozenSet[int]:
+        """Epoch-aware :meth:`Transaction.participants`.
+
+        A migration transaction's participants are pinned to its
+        (source, dest) pair: at its own epoch the moving keys already
+        route to the destination, yet the data still lives on the
+        source, so both sides take part. Results for ordinary
+        transactions are memoised per routing version.
+        """
+        if txn.procedure == MIGRATION_PROC:
+            return frozenset(migration_route(txn))
+        version = self.routing_version_at(epoch)
+        cache = txn._participants_at_cache
+        if cache is not None and cache[0] is self and cache[1] == version:
+            return cache[2]
+        parts = frozenset(self.partitions_of_at(txn.all_keys(), epoch))
+        if not parts:
+            raise ConfigError(f"transaction {txn.txn_id} has an empty footprint")
+        if txn.write_set and not txn.read_set <= txn.write_set:
+            active = frozenset(self.partitions_of_at(txn.write_set, epoch))
+        elif txn.write_set:
+            active = parts
+        else:
+            active = frozenset((min(parts),))
+        object.__setattr__(
+            txn, "_participants_at_cache", (self, version, parts, active)
+        )
+        return parts
+
+    def active_participants_at(self, txn, epoch: int) -> FrozenSet[int]:
+        """Epoch-aware :meth:`Transaction.active_participants`.
+
+        Both sides of a migration are active: the destination applies
+        the copied values, the source purges them.
+        """
+        if txn.procedure == MIGRATION_PROC:
+            return frozenset(migration_route(txn))
+        self.participants_at(txn, epoch)
+        return txn._participants_at_cache[3]
+
+    def reply_partition_at(self, txn, epoch: int) -> int:
+        """Epoch-aware :meth:`Transaction.reply_partition`."""
+        return min(self.active_participants_at(txn, epoch))

@@ -1,0 +1,33 @@
+"""Elastic cluster reconfiguration (the control plane).
+
+Deterministic live re-sharding, node join/leave and autoscaling for a
+running Calvin cluster. The design principle: **every cluster-shape
+change is just more sequenced input**. A migration is a transaction in
+the global serial order; a routing flip is a pure function of the
+epoch number; a join or leave is an epoch-keyed change to the set of
+input sequencers. Nothing requires cross-replica coordination beyond
+what the sequencing layer already provides, so reconfiguration
+inherits Calvin's determinism: same seed, same log, same digests —
+with or without replay, serial or parallel.
+
+Public surface:
+
+- :class:`ClusterAdmin` — the only control-plane entry point
+  (``split`` / ``merge`` / ``add_node`` / ``remove_node`` / ``plan``).
+- :class:`MigrationPlan`, :class:`ReconfigEvent` — immutable records
+  of planned and executed actions.
+- :class:`Autoscaler`, :class:`AutoscalePolicy` — the closed loop from
+  admission saturation signals to control-plane actions.
+"""
+
+from repro.reconfig.admin import ClusterAdmin
+from repro.reconfig.autoscale import AutoscalePolicy, Autoscaler
+from repro.reconfig.plan import MigrationPlan, ReconfigEvent
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ClusterAdmin",
+    "MigrationPlan",
+    "ReconfigEvent",
+]

@@ -1,0 +1,57 @@
+"""Control-plane records: migration plans and reconfiguration events.
+
+Both are plain immutable descriptions. A :class:`MigrationPlan` is the
+*intent* the control plane computed — which keys move where, and at
+which epoch every replica flips its routing. A :class:`ReconfigEvent`
+is the *audit record* of one executed control-plane action, exposed by
+:meth:`ClusterAdmin.events` so tests and benchmarks can assert exactly
+what the cluster did and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+# Event kinds, in the vocabulary of the public API.
+KIND_SPLIT = "split"
+KIND_MERGE = "merge"
+KIND_JOIN = "join"
+KIND_LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """One planned key-range migration, fully determined before it runs.
+
+    The plan is computed from sequenced state (the source partition's
+    store at planning time) and a deterministic epoch arithmetic, so
+    the same seed always produces the same plan. ``flip_epoch`` is the
+    epoch whose serial order the migration transaction leads: every
+    transaction sequenced at or after it routes the moved keys to
+    ``dest``.
+    """
+
+    migration_id: int
+    source: int
+    dest: int
+    keys: Tuple[Any, ...]
+    flip_epoch: int
+    txn_id: int
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.keys)
+
+
+@dataclass(frozen=True)
+class ReconfigEvent:
+    """The audit record of one executed control-plane action."""
+
+    kind: str                       # split | merge | join | leave
+    epoch: int                      # epoch at which the action takes effect
+    source: Optional[int] = None    # partition keys moved away from
+    dest: Optional[int] = None      # partition keys moved to / joined
+    keys_moved: int = 0
+    migration_id: Optional[int] = None
+    reason: str = ""                # "" for operator actions; policy tag otherwise

@@ -16,7 +16,12 @@ from typing import Any, Dict, TYPE_CHECKING
 from repro.errors import TransactionAborted
 from repro.net.messages import RemoteRead, TxnReply, WriteSetApply
 from repro.obs import SpanKind
-from repro.partition.catalog import NodeId, node_address
+from repro.partition.catalog import (
+    NodeId,
+    is_migration_txn,
+    migration_route,
+    node_address,
+)
 from repro.partition.partitioner import sorted_keys
 from repro.txn.context import TxnContext
 from repro.txn.result import TransactionResult, TxnStatus
@@ -42,7 +47,17 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     mine = sched.node_id.partition
 
     # Phase 1 — read/write set analysis.
-    participants = txn.participants(catalog)
+    has_reconfig = catalog.has_reconfig
+    if has_reconfig:
+        if is_migration_txn(txn):
+            # Control-plane key-range migration: its own two-sided
+            # copy/purge protocol (see run_migration below).
+            yield from run_migration(sched, stxn)
+            return
+        epoch = seq[0]
+        participants = catalog.participants_at(txn, epoch)
+    else:
+        participants = txn.participants(catalog)
     multipartition = len(participants) > 1
     if multipartition and sched.node_id.replica != 0:
         # Partial replication: a replica that does not host every
@@ -53,7 +68,12 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
         if hosted is not None and not participants <= hosted:
             yield from apply_replicated(sched, stxn)
             return
-    if multipartition:
+    if multipartition and has_reconfig:
+        partition_of_at = catalog.partition_of_at
+        local_read_keys = sorted_keys(
+            key for key in txn.read_set if partition_of_at(key, epoch) == mine
+        )
+    elif multipartition:
         local_read_keys = sorted_keys(
             key for key in txn.read_set if catalog.partition_of(key) == mine
         )
@@ -89,7 +109,10 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     reads: Dict = local_values
     messages_received = 0
     if multipartition:
-        active = txn.active_participants(catalog)
+        if has_reconfig:
+            active = catalog.active_participants_at(txn, epoch)
+        else:
+            active = txn.active_participants(catalog)
         is_active = mine in active
         cpu += costs.multipartition_overhead_cpu
         yield sim.timeout(cpu)
@@ -122,7 +145,10 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
         # Phase 4 — collect remote read results from every other
         # partition holding read-set data. The worker is released for
         # the wait (threads block; CPUs don't), locks stay held.
-        expected = catalog.partitions_of(txn.read_set) - {mine}
+        if has_reconfig:
+            expected = catalog.partitions_of_at(txn.read_set, epoch) - {mine}
+        else:
+            expected = catalog.partitions_of(txn.read_set) - {mine}
         if not expected.issubset(sched.remote_reads_for(seq)):
             wait_start = sim.now
             sched.workers.release()
@@ -175,6 +201,13 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     if not multipartition:
         # Sole participant: every write is local.
         local_writes = context.writes
+    elif has_reconfig:
+        partition_of_at = catalog.partition_of_at
+        local_writes = {
+            key: val
+            for key, val in context.writes.items()
+            if partition_of_at(key, epoch) == mine
+        }
     else:
         local_writes = {
             key: val
@@ -220,7 +253,9 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
             replica=replica, partition=mine, txn_id=txn_id, seq=seq,
         )
     sched.workers.release()
-    if multipartition:
+    if multipartition and has_reconfig:
+        report = result if mine == catalog.reply_partition_at(txn, epoch) else None
+    elif multipartition:
         report = result if mine == txn.reply_partition(catalog) else None
     else:
         # Sole participant is by definition the reply partition.
@@ -229,6 +264,118 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
         reply = TxnReply(report)
         sched.send(txn.client, reply, reply.size_estimate())
     sched.finish_txn(stxn, report, passive=False)
+
+
+def run_migration(sched: "Scheduler", stxn: SequencedTxn):
+    """Execute one side of a control-plane key-range migration.
+
+    Ordered first within its flip epoch, with the full moving range
+    write-locked on *both* partitions, the migration is serialized
+    exactly at its sequence position: the source reads the range and
+    ships it to the destination (the existing remote-read machinery,
+    so recovery re-serving works unchanged), then purges the copied
+    records; the destination applies the copy. Every transaction from
+    the flip epoch on routes to the destination, so each replica flips
+    at the identical point in its serial order.
+    """
+    sim = sched.sim
+    granted_time = sim.now
+    costs = sched.config.costs
+    txn = stxn.txn
+    seq = stxn.seq
+    mine = sched.node_id.partition
+    source, dest = migration_route(txn)
+    keys = txn.sorted_writes()
+    tracer = sched.tracer
+    replica, txn_id = sched.node_id.replica, txn.txn_id
+
+    yield sched.workers.request()
+    exec_start = sim.now
+
+    if mine == source:
+        # Copy-out: read the whole range (stalling on cold records if
+        # the store is disk-backed), ship it, purge it.
+        cold = sched.engine.cold_keys_of(keys)
+        if cold:
+            stall_start = sim.now
+            yield sim.all_of([sched.engine.fetch(key) for key in cold])
+            if tracer.enabled:
+                tracer.record(
+                    SpanKind.DISK, stall_start, sim.now,
+                    replica=replica, partition=mine,
+                    txn_id=txn_id, seq=seq, detail="cold-stall",
+                )
+        values = sched.engine.read_many(keys)
+        cpu = (
+            costs.txn_base_cpu
+            + costs.multipartition_overhead_cpu
+            + costs.read_cpu * len(keys)
+        )
+        yield sim.timeout(cpu)
+        message = RemoteRead(seq, mine, values)
+        sched.record_served_read(message, {dest})
+        target = NodeId(replica, dest)
+        sched.send(node_address(target), message, message.size_estimate())
+
+        # Purge: the range now lives at the destination. Deletes go
+        # through the store (write watchers observe the pre-images, so
+        # a concurrent checkpoint stays consistent).
+        yield sim.timeout(costs.write_cpu * len(keys))
+        store = sched.engine.store
+        for key in keys:
+            if key in store:
+                store.delete(key)
+        if tracer.enabled:
+            tracer.record(
+                SpanKind.EXECUTE, exec_start, sim.now,
+                replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+                detail="migration-source",
+            )
+        sched.workers.release()
+        sched.finish_txn(stxn, None, passive=False)
+        return
+
+    # Destination: wait for the copy, apply it. The worker is released
+    # for the wait (locks stay held, pinning every epoch >= flip
+    # transaction over the range behind the copy-in).
+    cpu = costs.txn_base_cpu + costs.multipartition_overhead_cpu
+    yield sim.timeout(cpu)
+    if source not in sched.remote_reads_for(seq):
+        wait_start = sim.now
+        sched.workers.release()
+        while source not in sched.remote_reads_for(seq):
+            yield sched.remote_read_arrival(seq)
+        yield sched.workers.request()
+        if tracer.enabled:
+            tracer.record(
+                SpanKind.REMOTE_READ_WAIT, wait_start, sim.now,
+                replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+            )
+    values = sched.remote_reads_for(seq)[source]
+    apply_start = sim.now
+    writes = {key: val for key, val in values.items() if val is not None}
+    yield sim.timeout(
+        costs.write_cpu * len(writes) + costs.remote_read_serve_cpu
+    )
+    if writes:
+        sched.engine.store.apply_writes(writes, False)
+    result = TransactionResult(
+        txn_id=txn_id,
+        status=TxnStatus.COMMITTED,
+        value=len(writes),
+        submit_time=txn.submit_time,
+        complete_time=sim.now,
+        restarts=txn.restarts,
+        granted_time=granted_time,
+    )
+    if tracer.enabled:
+        tracer.record(
+            SpanKind.APPLY, apply_start, sim.now,
+            replica=replica, partition=mine, txn_id=txn_id, seq=seq,
+            detail="migration-dest",
+        )
+    sched.workers.release()
+    sched.finish_txn(stxn, result, passive=False)
 
 
 def apply_replicated(sched: "Scheduler", stxn: SequencedTxn):

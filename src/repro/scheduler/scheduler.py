@@ -22,7 +22,7 @@ from repro.config import ClusterConfig
 from repro.errors import SchedulerError
 from repro.net.messages import RemoteRead, SubBatch, WriteSetApply
 from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
-from repro.partition.catalog import Catalog, NodeId, node_address
+from repro.partition.catalog import Catalog, NodeId, is_migration_txn, node_address
 from repro.partition.partitioner import stable_hash
 from repro.scheduler.executor import run_transaction
 from repro.scheduler.lockmanager import DeterministicLockManager
@@ -168,14 +168,25 @@ class Scheduler:
 
     def _advance_epochs(self) -> None:
         num_origins = self.catalog.num_partitions
+        has_reconfig = self.catalog.has_reconfig
         while True:
             if self._pause_epoch is not None and self._next_epoch >= self._pause_epoch:
                 return
             per_epoch = self._arrived.get(self._next_epoch)
-            if per_epoch is None or len(per_epoch) < num_origins:
-                return
+            if has_reconfig:
+                # Elastic membership: the barrier waits for exactly the
+                # origins active at this epoch (a joining spare starts
+                # publishing at its join epoch, a retiring origin's last
+                # batch is retire_epoch - 1).
+                origins = self.catalog.origins_at(self._next_epoch)
+                if per_epoch is None or any(o not in per_epoch for o in origins):
+                    return
+            else:
+                origins = range(num_origins)
+                if per_epoch is None or len(per_epoch) < num_origins:
+                    return
             del self._arrived[self._next_epoch]
-            for origin in range(num_origins):
+            for origin in origins:
                 self._admission.extend(per_epoch[origin].txns)
             self._next_epoch += 1
             self._kick_admission()
@@ -189,6 +200,7 @@ class Scheduler:
         admission = self._admission
         tracing = self._tracing
         catalog = self.catalog
+        has_reconfig = catalog.has_reconfig
         mine = self.node_id.partition
         single_shard = len(self._lock_shards) == 1
         while admission:
@@ -196,7 +208,10 @@ class Scheduler:
             if tracing:
                 self.tracer.mark(("admit", self.node_id, stxn.seq), self.sim.now)
             txn = stxn.txn
-            participants = txn.participants(catalog)
+            if has_reconfig:
+                participants = catalog.participants_at(txn, stxn.seq[0])
+            else:
+                participants = txn.participants(catalog)
             if single_shard and len(participants) == 1:
                 # Fast path for the dominant case: sole participant on
                 # the single (paper-design) lock shard. The local
@@ -309,6 +324,8 @@ class Scheduler:
     def local_footprint(self, stxn: SequencedTxn):
         """This partition's slice of the transaction's read/write sets."""
         txn = stxn.txn
+        if self.catalog.has_reconfig:
+            return self._local_footprint_at(stxn)
         if self.catalog.num_partitions == 1:
             # Single-partition cluster: every key is local.
             read_keys, write_keys = list(txn.read_set), list(txn.write_set)
@@ -317,6 +334,28 @@ class Scheduler:
             partition_of = self.catalog.partition_of
             read_keys = [k for k in txn.read_set if partition_of(k) == mine]
             write_keys = [k for k in txn.write_set if partition_of(k) == mine]
+        if not read_keys and not write_keys:
+            raise SchedulerError(
+                f"{stxn.seq} dispatched to non-participant partition {mine}"
+            )
+        return read_keys, write_keys
+
+    def _local_footprint_at(self, stxn: SequencedTxn):
+        """Epoch-aware local footprint under live reconfiguration.
+
+        A migration transaction locks its full moving range on *both*
+        sides: the source serializes the copy-out behind earlier local
+        writers, the destination serializes every epoch >= flip
+        transaction behind the copy-in.
+        """
+        txn = stxn.txn
+        if is_migration_txn(txn):
+            return [], list(txn.sorted_writes())
+        epoch = stxn.seq[0]
+        mine = self.node_id.partition
+        partition_of_at = self.catalog.partition_of_at
+        read_keys = [k for k in txn.read_set if partition_of_at(k, epoch) == mine]
+        write_keys = [k for k in txn.write_set if partition_of_at(k, epoch) == mine]
         if not read_keys and not write_keys:
             raise SchedulerError(
                 f"{stxn.seq} dispatched to non-participant partition {mine}"

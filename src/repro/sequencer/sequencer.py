@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, TYPE_CHECKING, Tuple
 
 from repro.config import ClusterConfig
-from repro.net.messages import PrefetchRequest, ReplicaBatch, SubBatch
+from repro.net.messages import ClientSubmit, PrefetchRequest, ReplicaBatch, SubBatch
 from repro.obs import CAT_EPOCH, NULL_RECORDER, SpanKind, TraceRecorder
 from repro.partition.catalog import Catalog, NodeId, node_address
 from repro.partition.partitioner import sort_token
@@ -76,6 +76,17 @@ class Sequencer:
         self._dispatched_epochs = set()
         self._seen_txn_ids = set()
         self._started = False
+        # -- elastic reconfiguration (repro.reconfig) --------------------
+        # Control-plane transactions registered for a future epoch; each
+        # is prepended to that epoch's batch so it leads the flip epoch
+        # in the global serial order. A *dormant* sequencer (a
+        # pre-provisioned spare) skips epoch ticking until
+        # start_at_epoch(); a *retiring* one stops at its retire epoch
+        # and forwards leftover input to a successor origin.
+        self._config_txns: dict = {}
+        self.dormant = False
+        self._retire_epoch = None
+        self._successor = None
         # Local input-log durability (only meaningful without replication).
         self._force_log = None
         if config.force_input_log and config.replication_mode == "none":
@@ -95,10 +106,62 @@ class Sequencer:
 
     def start(self) -> None:
         """Begin epoch ticking (input-accepting sequencers only)."""
-        if self._started or not self.accepts_input:
+        if self._started or not self.accepts_input or self.dormant:
             return
         self._started = True
         self.sim.schedule_owned(self._owner, self.config.epoch_duration, self._epoch_tick)
+
+    def start_at_epoch(self, epoch: int) -> None:
+        """Wake a dormant spare: its first cut batch is ``epoch``.
+
+        The first tick lands at the same virtual time the established
+        sequencers cut ``epoch``, so from the join epoch on this origin
+        publishes in lock-step with the rest of the cluster.
+        """
+        if self._started:
+            raise RuntimeError("sequencer already started")
+        if not self.accepts_input:
+            raise RuntimeError("only input-accepting sequencers join")
+        when = (epoch + 1) * self.config.epoch_duration
+        if when <= self.sim.now:
+            raise RuntimeError(f"join epoch {epoch} is already in the past")
+        self.dormant = False
+        self._started = True
+        self._epoch = epoch
+        self.sim.schedule_owned(self._owner, when - self.sim.now, self._epoch_tick)
+
+    def retire_at(self, epoch: int, successor) -> None:
+        """Stop cutting batches at ``epoch``; ``epoch - 1`` is the last.
+
+        Input still buffered (or queued in admission) when the retire
+        epoch arrives is forwarded to the ``successor`` origin's
+        sequencer address as ordinary client submissions.
+        """
+        if self._retire_epoch is not None:
+            raise RuntimeError("sequencer is already retiring")
+        if epoch <= self._epoch:
+            raise RuntimeError(f"retire epoch {epoch} is already in the past")
+        self._retire_epoch = epoch
+        self._successor = successor
+
+    # -- control plane (repro.reconfig) -----------------------------------
+
+    def register_config_txn(self, epoch: int, txn: Transaction) -> None:
+        """Prepend ``txn`` to the batch cut for ``epoch``.
+
+        Control-plane injection: the transaction becomes part of the
+        sequenced input exactly like client traffic — replicated,
+        logged, and replayed identically — but leads its epoch so every
+        later transaction of the epoch observes the post-flip routing.
+        """
+        if epoch < self._epoch:
+            raise RuntimeError(f"epoch {epoch} has already been cut")
+        self._config_txns.setdefault(epoch, []).append(txn)
+
+    @property
+    def pending_config_txns(self) -> bool:
+        """True while registered control-plane txns await their epoch."""
+        return bool(self._config_txns)
 
     # -- input ---------------------------------------------------------------
 
@@ -188,8 +251,17 @@ class Sequencer:
 
     def _epoch_tick(self) -> None:
         epoch = self._epoch
+        if self._retire_epoch is not None and epoch >= self._retire_epoch:
+            self._hand_off()
+            return
         self._epoch += 1
         batch, self._buffer = tuple(self._buffer), []
+        pending = self._config_txns.pop(epoch, None)
+        if pending:
+            # Control-plane transactions lead their flip epoch (see
+            # repro.reconfig): every later txn of the epoch observes the
+            # post-flip routing.
+            batch = tuple(pending) + batch
         self.txns_sequenced += len(batch)
         if self.batch_observer is not None:
             self.batch_observer(epoch, batch)
@@ -226,8 +298,18 @@ class Sequencer:
             self.admission.on_epoch_tick()
         self.sim.schedule_owned(self._owner, self.config.epoch_duration, self._epoch_tick)
 
-    # -- dispatch (called by the replication strategy once a batch is
-    #    allowed to execute at THIS replica) --------------------------------
+    def _hand_off(self) -> None:
+        """Forward leftover input to the successor origin and stop."""
+        leftovers = list(self._buffer)
+        self._buffer = []
+        if self.admission is not None:
+            leftovers.extend(self.admission.drain())
+        for txn in leftovers:
+            message = ClientSubmit(txn)
+            self.send(self._successor, message, message.size_estimate())
+        # No reschedule: this origin's last batch was retire_epoch - 1.
+
+    # -- dispatch (fan sub-batches to this replica's schedulers) -----------
 
     def dispatch(self, epoch: int, txns: Tuple[Transaction, ...]) -> None:
         """Log the batch and fan sub-batches out to this replica's schedulers.
@@ -263,9 +345,14 @@ class Sequencer:
         per_partition: List[List[SequencedTxn]] = [
             [] for _ in range(self.catalog.num_partitions)
         ]
+        has_reconfig = self.catalog.has_reconfig
         for index, txn in enumerate(txns):
             stxn = SequencedTxn((epoch, origin, index), txn)
-            for partition in txn.participants(self.catalog):
+            if has_reconfig:
+                participants = self.catalog.participants_at(txn, epoch)
+            else:
+                participants = txn.participants(self.catalog)
+            for partition in participants:
                 per_partition[partition].append(stxn)
 
         # Sequencer CPU: batch assembly/serialization delay. The sends
@@ -307,11 +394,17 @@ class Sequencer:
         """
         resent = 0
         origin = self.node_id.partition
+        has_reconfig = self.catalog.has_reconfig
         for entry in self.input_log.entries_from(from_epoch):
             stxns = tuple(
                 SequencedTxn((entry.epoch, origin, index), txn)
                 for index, txn in enumerate(entry.txns)
-                if partition in txn.participants(self.catalog)
+                if partition
+                in (
+                    self.catalog.participants_at(txn, entry.epoch)
+                    if has_reconfig
+                    else txn.participants(self.catalog)
+                )
             )
             message = SubBatch(entry.epoch, origin, stxns)
             target = NodeId(self.node_id.replica, partition)

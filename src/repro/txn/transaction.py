@@ -50,6 +50,10 @@ class Transaction:
     _participants_cache: Any = field(default=None, init=False, repr=False, compare=False)
     _active_cache: Any = field(default=None, init=False, repr=False, compare=False)
     _lock_plan: Any = field(default=None, init=False, repr=False, compare=False)
+    # Epoch-aware participant memo used by Catalog.participants_at under
+    # live reconfiguration: (catalog, routing_version, participants,
+    # active). Never touched on the static (no-reconfig) path.
+    _participants_at_cache: Any = field(default=None, init=False, repr=False, compare=False)
 
     @staticmethod
     def create(

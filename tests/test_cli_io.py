@@ -94,3 +94,87 @@ class TestCli:
         assert code == 0
         assert json.loads(json_path.read_text())["experiment"].startswith("E7")
         assert csv_path.exists()
+
+
+class TestSharedRunFlags:
+    """The cross-command flags come from one shared parent parser."""
+
+    def test_common_flags_parse_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "fig7", "--seed", "7", "--sanitize", "--jobs", "2"],
+            ["chaos", "--seed", "7", "--topology", "ring", "--sanitize",
+             "--jobs", "2"],
+            ["trace", "--seed", "7", "--topology", "mesh", "--sanitize"],
+            ["bisect", "--seed", "7", "--topology", "hub", "--sanitize"],
+            ["bench", "saturation", "--seed", "7", "--sanitize", "--jobs", "2"],
+            ["bench", "compare", "--seed", "7", "--sanitize", "--jobs", "2"],
+            ["bench", "geo", "--seed", "7", "--topology", "ring",
+             "--sanitize", "--jobs", "2"],
+            ["bench", "elastic", "--seed", "7", "--sanitize", "--jobs", "2"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.seed == 7, argv
+            assert args.sanitize is True, argv
+
+    def test_geo_topology_default_preserved(self):
+        args = build_parser().parse_args(["bench", "geo"])
+        assert args.topology == "chain"
+        assert build_parser().parse_args(["chaos"]).topology is None
+
+    def test_shared_flags_declared_exactly_once(self):
+        # The consolidation's point: one declaration per shared flag, so
+        # spellings/help can't drift between subcommands again.
+        import inspect
+        import re
+
+        from repro import cli
+
+        source = inspect.getsource(cli)
+        assert len(re.findall(r'"--topology"', source)) == 1
+        assert len(re.findall(r'"--sanitize"', source)) == 1
+        assert len(re.findall(r'"--jobs"', source)) == 1
+        assert len(re.findall(r'"--seed"', source)) == 1
+
+    def test_config_from_args_replication_rule(self):
+        import argparse
+
+        from repro.cli import config_from_args
+
+        args = argparse.Namespace(
+            seed=9, replicas=2, partitions=3, topology="ring", sanitize=True
+        )
+        config = config_from_args(args)
+        assert config.num_replicas == 2
+        assert config.replication_mode == "paxos"
+        assert config.num_partitions == 3
+        assert config.seed == 9 and config.topology == "ring"
+        single = config_from_args(
+            argparse.Namespace(seed=9, replicas=1, partitions=2),
+            fault_profile="chaos-mix",
+        )
+        assert single.replication_mode == "none"
+        assert single.fault_profile == "chaos-mix"
+
+
+class TestDeprecatedSpellings:
+    def test_geo_smoke_warns_once_with_pinned_text(self):
+        import warnings
+
+        from repro import cli
+
+        cli._warned_spellings.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cli._warn_deprecated_spelling("bench geo --smoke", "--scale smoke")
+            cli._warn_deprecated_spelling("bench geo --smoke", "--scale smoke")
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert str(caught[0].message) == (
+            "bench geo --smoke is deprecated; use --scale smoke instead"
+        )
+
+    def test_geo_smoke_flag_still_parses(self):
+        args = build_parser().parse_args(["bench", "geo", "--smoke"])
+        assert args.smoke is True
+        assert args.scale == "quick"  # cmd_bench_geo maps it to smoke

@@ -49,7 +49,8 @@ def _workload():
     return Microbenchmark(mp_fraction=0.3, hot_set_size=10, cold_set_size=100)
 
 
-def _run_calvin(seed, replicas=1, fault_profile=None, duration=0.3):
+def _run_calvin(seed, replicas=1, fault_profile=None, duration=0.3,
+                idle_admin=False):
     tracer = TraceRecorder()
     config = ClusterConfig(
         num_partitions=2,
@@ -60,6 +61,10 @@ def _run_calvin(seed, replicas=1, fault_profile=None, duration=0.3):
         fault_horizon=duration * 0.85,
     )
     cluster = CalvinCluster(config, workload=_workload(), tracer=tracer)
+    if idle_admin:
+        from repro import ClusterAdmin
+
+        ClusterAdmin(cluster)
     cluster.load_workload_data()
     cluster.add_clients(4, max_txns=10)
     cluster.run(duration=duration)
@@ -135,3 +140,17 @@ def test_golden_chaos_digest():
         seed=7, replicas=2, fault_profile="chaos-mix", duration=0.5
     )
     assert observed == GOLDEN_CHAOS
+
+
+def test_golden_digests_unchanged_with_idle_control_plane():
+    # The elastic control plane must be pay-for-what-you-use: a cluster
+    # with a ClusterAdmin attached but no reconfiguration performed
+    # reproduces the golden rows bit-for-bit (same digest, same event
+    # count, same commits) — both unreplicated and under chaos. The
+    # other three rows (baseline, star, geo) cannot host an admin at
+    # all, so their tests above already pin the idle behaviour.
+    assert _run_calvin(seed=2012, idle_admin=True) == GOLDEN_CALVIN
+    assert _run_calvin(
+        seed=7, replicas=2, fault_profile="chaos-mix", duration=0.5,
+        idle_admin=True,
+    ) == GOLDEN_CHAOS

@@ -9,6 +9,7 @@ EXPECTED_EXPORTS = [
     "CalvinCluster",
     "CalvinDB",
     "ClientProfile",
+    "ClusterAdmin",
     "ClusterConfig",
     "ConfigError",
     "ConsistencyError",
@@ -26,8 +27,10 @@ EXPECTED_EXPORTS = [
     "Metrics",
     "MetricsRegistry",
     "Microbenchmark",
+    "MigrationPlan",
     "Procedure",
     "ProcedureRegistry",
+    "ReconfigEvent",
     "ReproError",
     "RunReport",
     "TpccWorkload",
