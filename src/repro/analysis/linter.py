@@ -3,12 +3,15 @@
 Workflow (see ``docs/static_analysis.md``):
 
 1. ``repro lint src/repro`` scans every ``.py`` file under the given
-   paths with the DET rule set (:mod:`repro.analysis.rules`).
-2. A finding on a line carrying ``# det: allow[DETnnn] reason`` (or
-   directly below a comment line of that form) is *waived* — visible
-   with ``--show-waived``, never failing. A waiver must name the rule
-   and give a reason; a bare ``det: allow`` is ignored and reported so
-   waivers cannot rot into unexplained suppressions.
+   paths with the DET rule set (:mod:`repro.analysis.rules`) and runs
+   the FPT footprint rules (:mod:`repro.analysis.footprint`) over every
+   registered house procedure.
+2. A finding on a line carrying ``# det: allow[DETnnn] reason`` or
+   ``# det: allow[FPTnnn] reason`` (or directly below a comment line of
+   that form) is *waived* — visible with ``--show-waived``, never
+   failing. A waiver must name the rule and give a reason; a bare
+   ``det: allow`` is ignored and reported so waivers cannot rot into
+   unexplained suppressions.
 3. Findings matching the committed baseline file (grandfathered debt,
    matched by ``(rule, path, stripped source line)`` so line-number
    churn does not invalidate entries) are *baselined*: reported but not
@@ -25,6 +28,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.footprint_rules import FPT_RULES
 from repro.analysis.rules import Finding, RULES, scan_source
 from repro.errors import ConfigError
 
@@ -32,8 +36,13 @@ from repro.errors import ConfigError
 #: directory by the CLI when ``--baseline`` is not given.
 DEFAULT_BASELINE = "DETERMINISM_BASELINE.json"
 
+#: Every rule ``repro lint`` knows, across families. Waivers, the
+#: baseline and ``--rules`` selection all validate against this.
+ALL_RULES: Dict[str, str] = {**RULES, **FPT_RULES}
+
 _WAIVER_RE = re.compile(
-    r"#\s*det:\s*allow\[(?P<rules>DET\d{3}(?:\s*,\s*DET\d{3})*)\]\s*(?P<reason>.*)"
+    r"#\s*det:\s*allow\[(?P<rules>(?:DET|FPT)\d{3}"
+    r"(?:\s*,\s*(?:DET|FPT)\d{3})*)\]\s*(?P<reason>.*)"
 )
 _BARE_WAIVER_RE = re.compile(r"#\s*det:\s*allow(?!\[)")
 
@@ -185,7 +194,7 @@ def parse_waivers(source: str, path: str) -> Tuple[List[Waiver], List[str]]:
         rules = tuple(
             part.strip() for part in match.group("rules").split(",")
         )
-        unknown = [rule for rule in rules if rule not in RULES]
+        unknown = [rule for rule in rules if rule not in ALL_RULES]
         if unknown:
             problems.append(
                 f"{path}:{lineno}: waiver names unknown rule(s) "
@@ -312,22 +321,47 @@ def lint_sources(
     sources: Dict[str, str],
     rules: Optional[Set[str]] = None,
     baseline_entries: Optional[List[Dict]] = None,
+    extra_findings: Optional[Sequence[Finding]] = None,
 ) -> LintReport:
-    """Lint in-memory ``{path: source}`` pairs (the testable core)."""
+    """Lint in-memory ``{path: source}`` pairs (the testable core).
+
+    ``extra_findings`` carries findings produced outside the per-file
+    scan (the FPT footprint pass works per *procedure*, not per file);
+    they are merged per path so waivers and the baseline apply to them
+    exactly like to DET findings. Extra findings on files absent from
+    ``sources`` get their waivers from disk, best effort.
+    """
+    extras_by_path: Dict[str, List[Finding]] = {}
+    for finding in extra_findings or ():
+        extras_by_path.setdefault(finding.path, []).append(finding)
     report = LintReport()
-    all_waivers: List[Waiver] = []
     for path in sorted(sources):
         source = sources[path]
         findings, error = scan_source(source, path, rules)
         if error is not None:
             report.errors.append(error)
             continue
+        findings = sorted(
+            findings + extras_by_path.pop(path.replace("\\", "/"), []),
+            key=lambda f: (f.line, f.col, f.rule),
+        )
         waivers, problems = parse_waivers(source, path.replace("\\", "/"))
         report.invalid_waivers.extend(problems)
         findings, unused = apply_waivers(findings, waivers)
         report.findings.extend(findings)
         report.unused_waivers.extend(unused)
         report.files_scanned += 1
+    for path in sorted(extras_by_path):
+        findings = extras_by_path[path]
+        try:
+            with open(path, encoding="utf-8") as handle:
+                waivers, problems = parse_waivers(handle.read(), path)
+        except OSError:
+            waivers, problems = [], []
+        report.invalid_waivers.extend(problems)
+        findings, unused = apply_waivers(findings, waivers)
+        report.findings.extend(findings)
+        report.unused_waivers.extend(unused)
     if baseline_entries:
         report.findings, report.baseline_unmatched = apply_baseline(
             report.findings, baseline_entries
@@ -339,18 +373,21 @@ def lint_paths(
     paths: Sequence[str],
     rules: Optional[Set[str]] = None,
     baseline: Optional[str] = None,
+    footprints: bool = True,
 ) -> LintReport:
     """Lint files/directories; the public entry point (``repro.lint_paths``).
 
     ``baseline`` names a grandfathered-findings JSON file; when omitted,
     :data:`DEFAULT_BASELINE` is used if it exists in the current
-    directory.
+    directory. Unless ``footprints`` is False, the FPT rules also run
+    over every registered house procedure (their findings land on the
+    workload sources regardless of the scanned paths).
     """
     if rules is not None:
-        unknown = set(rules) - set(RULES)
+        unknown = set(rules) - set(ALL_RULES)
         if unknown:
             raise ConfigError(
-                f"unknown rule(s) {sorted(unknown)}; known: {sorted(RULES)}"
+                f"unknown rule(s) {sorted(unknown)}; known: {sorted(ALL_RULES)}"
             )
     if baseline is None and os.path.exists(DEFAULT_BASELINE):
         baseline = DEFAULT_BASELINE
@@ -359,6 +396,11 @@ def lint_paths(
     for path in iter_python_files(paths):
         with open(path, encoding="utf-8") as handle:
             sources[path] = handle.read()
-    report = lint_sources(sources, rules, entries)
+    extra_findings: List[Finding] = []
+    if footprints and (rules is None or rules & set(FPT_RULES)):
+        from repro.analysis.footprint import analyze_repository
+
+        extra_findings = analyze_repository(rules)
+    report = lint_sources(sources, rules, entries, extra_findings)
     report.baseline_path = baseline
     return report

@@ -141,6 +141,12 @@ def common_parent(
             help="arm the runtime determinism sanitizer: ambient randomness, "
                  "wall-clock and entropy calls raise DeterminismViolation",
         )
+        parent.add_argument(
+            "--audit-footprints", action="store_true",
+            help="record actual per-procedure key accesses and report "
+                 "over/under-declared footprints (audit.footprint.* metrics "
+                 "+ per-procedure table); digests are unaffected",
+        )
     if jobs:
         parent.add_argument(
             "--jobs", type=int, default=None, metavar="N",
@@ -185,6 +191,7 @@ def config_from_args(args: argparse.Namespace, **overrides):
         seed=args.seed,
         topology=getattr(args, "topology", None),
         sanitize=getattr(args, "sanitize", False),
+        audit_footprints=getattr(args, "audit_footprints", False),
     )
     values.update(overrides)
     return ClusterConfig(**values)
@@ -407,7 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-link capacity, bytes/second")
 
     lint = sub.add_parser(
-        "lint", help="determinism static analysis (DET rules) over sources"
+        "lint",
+        help="static analysis over sources (DET rules) and registered "
+             "procedures (FPT footprint rules)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -425,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--rules", metavar="LIST", default=None,
-        help="comma-separated rule subset, e.g. DET001,DET003",
+        help="comma-separated rule subset, e.g. DET001,FPT006",
     )
     lint.add_argument(
         "--show-waived", action="store_true",
@@ -434,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--no-footprints", action="store_true",
+        help="skip the FPT footprint pass over registered procedures "
+             "(source-file DET rules only)",
     )
 
     bisect = sub.add_parser(
@@ -978,20 +992,39 @@ def cmd_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def render_rule_catalogue() -> str:
+    """The ``repro lint --list-rules`` text: rule families grouped, one
+    line per rule (pinned by test_analysis_lint)."""
+    from repro.analysis import FPT_RULES, RULES
+
+    families = (
+        ("DET — determinism rules (scan Python sources)", RULES),
+        ("FPT — footprint rules (check registered procedures)", FPT_RULES),
+    )
+    width = max(len(rule) for _, rules in families for rule in rules)
+    lines: List[str] = []
+    for title, rules in families:
+        lines.append(title)
+        for rule in sorted(rules):
+            lines.append(f"  {rule.ljust(width)}  {rules[rule]}")
+    return "\n".join(lines)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import RULES, lint_paths, write_baseline
+    from repro.analysis import lint_paths, write_baseline
 
     if args.list_rules:
-        width = max(len(rule) for rule in RULES)
-        for rule in sorted(RULES):
-            print(f"{rule.ljust(width)}  {RULES[rule]}")
+        print(render_rule_catalogue())
         return 0
     rules = None
     if args.rules:
         rules = {part.strip() for part in args.rules.split(",") if part.strip()}
-    report = lint_paths(args.paths, rules=rules, baseline=args.baseline)
+    report = lint_paths(
+        args.paths, rules=rules, baseline=args.baseline,
+        footprints=not args.no_footprints,
+    )
     if args.write_baseline:
         path = write_baseline(report, args.baseline or "DETERMINISM_BASELINE.json")
         print(f"wrote {path} ({len(report.active)} grandfathered finding(s); "
@@ -1050,6 +1083,36 @@ def cmd_bisect(args: argparse.Namespace) -> int:
     return 0 if report.equivalent else 1
 
 
+def _dispatch(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> Optional[int]:
+    """Route a parsed namespace to its command; None = unknown command."""
+    if args.command == "experiments":
+        return cmd_experiments()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "demo":
+        return cmd_demo()
+    if args.command == "chaos":
+        return cmd_chaos(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "bench":
+        return cmd_bench(args, parser)
+    if args.command == "topology":
+        return cmd_topology(args, parser)
+    if args.command == "lint":
+        return cmd_lint(args)
+    if args.command == "bisect":
+        return cmd_bisect(args)
+    if args.command == "compare":
+        from repro.bench.compare import compare_files
+
+        comparison = compare_files(args.old, args.new, args.threshold)
+        print(comparison)
+        return 0 if comparison.ok else 1
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from contextlib import nullcontext
 
@@ -1066,30 +1129,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         guard = nullcontext()
     with guard:
-        if args.command == "experiments":
-            return cmd_experiments()
-        if args.command == "run":
-            return cmd_run(args)
-        if args.command == "demo":
-            return cmd_demo()
-        if args.command == "chaos":
-            return cmd_chaos(args)
-        if args.command == "trace":
-            return cmd_trace(args)
-        if args.command == "bench":
-            return cmd_bench(args, parser)
-        if args.command == "topology":
-            return cmd_topology(args, parser)
-        if args.command == "lint":
-            return cmd_lint(args)
-        if args.command == "bisect":
-            return cmd_bisect(args)
-        if args.command == "compare":
-            from repro.bench.compare import compare_files
+        if not getattr(args, "audit_footprints", False):
+            result = _dispatch(args, parser)
+        else:
+            # Arm footprint auditing for the whole command: every cluster
+            # built inside (experiments construct their own) attaches an
+            # auditor and reports back through the scope. One merged table
+            # covers the command; --jobs worker processes are not
+            # collected (run serially when auditing).
+            from repro.analysis import audit_scope
+            from repro.analysis.footprint import default_registry
 
-            comparison = compare_files(args.old, args.new, args.threshold)
-            print(comparison)
-            return 0 if comparison.ok else 1
+            with audit_scope() as scope:
+                result = _dispatch(args, parser)
+            merged = scope.merged()
+            print()
+            print(merged.render_table())
+            verdicts = merged.cross_validate(default_registry())
+            print(
+                "  static FPT006 cross-check: "
+                f"agree={verdicts['agree']} "
+                f"static-only={verdicts['static_only']} "
+                f"runtime-only={verdicts['runtime_only']}"
+            )
+        if result is not None:
+            return result
     parser.print_help()
     return 2
 

@@ -154,6 +154,12 @@ class ClusterConfig:
     # simulation itself — same seed produces bit-identical digests with
     # the flag on or off.
     sanitize: bool = False
+    # Runtime footprint auditor: when True, replica-0 schedulers record
+    # actual per-procedure key accesses and report declared-but-unused
+    # (over-declared) and under-declared keys via audit.footprint.*
+    # metrics (see repro.analysis.auditor). Pure bookkeeping — trace
+    # digests are bit-identical with the flag on or off.
+    audit_footprints: bool = False
     # Named fault profile (see repro.faults.profiles.FAULT_PROFILES) the
     # cluster instantiates at construction; None = no fault injection.
     fault_profile: Optional[str] = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING, Tuple, Union
 
+from repro.analysis.auditor import FootprintAuditor, adopt_auditor, audit_armed
 from repro.config import ClusterConfig
 from repro.core.clients import ClosedLoopClient
 from repro.core.metrics import Metrics, RunReport
@@ -158,6 +159,19 @@ class CalvinCluster:
                 participant.register_metrics(self.metrics_registry, f"{prefix}.paxos")
             if node.sequencer.admission is not None:
                 node.sequencer.admission.register_metrics(self.metrics_registry, prefix)
+
+        # Opt-in footprint auditing (repro.analysis.auditor): one auditor
+        # per cluster on replica-0 schedulers — replicas re-execute the
+        # same deterministic accesses, so auditing them would only double
+        # count. Armed by config or by an enclosing audit_scope().
+        self.auditor = None
+        if config.audit_footprints or audit_armed():
+            self.auditor = FootprintAuditor()
+            self.auditor.register_metrics(self.metrics_registry)
+            for node_id, node in self.nodes.items():
+                if node_id.replica == 0:
+                    node.scheduler.auditor = self.auditor
+            adopt_auditor(self.auditor)
 
         # Elastic reconfiguration: spare partitions exist from the
         # start but their sequencers stay dormant until the control

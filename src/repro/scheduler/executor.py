@@ -176,7 +176,11 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     # former helper generator: one less delegated frame per txn).
     apply_start = sim.now
     procedure = sched.registry.get(txn.procedure)
-    context = TxnContext(txn, reads)
+    auditor = sched.auditor
+    if auditor is None:
+        context = TxnContext(txn, reads)
+    else:
+        context = auditor.make_context(txn, reads)
     status: TxnStatus
     value: Any = None
 
@@ -263,6 +267,8 @@ def run_transaction(sched: "Scheduler", stxn: SequencedTxn):
     if report is not None and txn.client is not None and sched.node_id.replica == 0:
         reply = TxnReply(report)
         sched.send(txn.client, reply, reply.size_estimate())
+    if auditor is not None:
+        auditor.observe(txn, context, status, report is not None)
     sched.finish_txn(stxn, report, passive=False)
 
 

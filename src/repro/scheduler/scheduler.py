@@ -73,6 +73,9 @@ class Scheduler:
         self.engine = engine
         self.send = send
         self.on_complete = on_complete
+        # Opt-in footprint auditor (repro.analysis.auditor); the cluster
+        # attaches one to replica-0 schedulers when auditing is armed.
+        self.auditor = None
 
         self.workers = Resource(sim, config.workers_per_node, name=f"workers{node_id}")
         # Lock-manager shards: keys hash onto shards, each shard is one

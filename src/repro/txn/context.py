@@ -80,7 +80,7 @@ class TxnContext:
 
     def delete(self, key: Key) -> None:
         """Buffer a deletion of ``key``."""
-        if key not in self.txn.write_set:
+        if key not in self._write_set:
             raise FootprintViolation(
                 f"txn {self.txn.txn_id} delete outside declared write set: {key!r}"
             )

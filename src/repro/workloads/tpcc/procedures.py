@@ -267,12 +267,18 @@ def delivery_reconnoiter(read_fn: ReadFn, args: Dict) -> Footprint:
     for d in range(districts):
         district_key = keys.district(w, d)
         reads.add(district_key)
-        writes.add(district_key)
         district = read_fn(district_key)
         queue = district["undelivered"] if district else ()
         if not queue:
+            # Empty queue: the logic only reads the district and moves
+            # on, so no write lock — declaring one anyway (as this used
+            # to) showed up in the footprint audit as ~6% over-declared
+            # delivery writes, pure contention on the hottest keys. If
+            # the queue gains a head before execution, the token check
+            # in delivery_recheck restarts the transaction.
             heads.append(None)
             continue
+        writes.add(district_key)
         o_id, ol_cnt = queue[0]
         heads.append((o_id, ol_cnt))
         order_key = keys.order(w, d, o_id)

@@ -210,6 +210,29 @@ class TestRulePlumbing:
             "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
         ]
 
+    def test_list_rules_output_grouped_by_family(self):
+        from repro.analysis import ALL_RULES, FPT_RULES
+        from repro.cli import render_rule_catalogue
+
+        text = render_rule_catalogue()
+        lines = text.splitlines()
+        # Two family headers, in order, with one indented line per rule.
+        assert lines[0] == "DET — determinism rules (scan Python sources)"
+        fpt_header = lines.index(
+            "FPT — footprint rules (check registered procedures)"
+        )
+        assert fpt_header == 1 + len(RULES)
+        assert len(lines) == 2 + len(ALL_RULES)
+        for rule, summary in ALL_RULES.items():
+            (row,) = [line for line in lines if line.lstrip().startswith(rule)]
+            assert row.startswith("  ")
+            assert row.endswith(summary)
+        # DET rows precede the FPT header; FPT rows follow it.
+        det_rows = lines[1:fpt_header]
+        assert [r.split()[0] for r in det_rows] == sorted(RULES)
+        fpt_rows = lines[fpt_header + 1:]
+        assert [r.split()[0] for r in fpt_rows] == sorted(FPT_RULES)
+
 
 class TestWaivers:
     def test_inline_waiver_silences(self):

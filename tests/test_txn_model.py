@@ -218,3 +218,28 @@ class TestOllp:
         )
         with pytest.raises(ConfigError):
             reconnoiter(proc, lambda key: None, None)
+
+    def test_create_normalizes_iterables(self):
+        # Reconnaissance code builds sets, lists, generators — create()
+        # freezes them all the same way.
+        footprint = Footprint.create(
+            ["a", "b", "a"], (key for key in ("b",))
+        )
+        assert footprint.read_set == frozenset({"a", "b"})
+        assert footprint.write_set == frozenset({"b"})
+        assert isinstance(footprint.read_set, frozenset)
+        assert isinstance(footprint.write_set, frozenset)
+
+    def test_footprint_token_pickle_round_trip(self):
+        # The token rides in the replicated input log, so it must
+        # survive pickling (delivery-style tuple-of-tuples evidence).
+        import pickle
+
+        token = ((("district", 1, 2), 3041), (("district", 1, 3), None))
+        footprint = Footprint.create({"a"}, {"a"}, token=token)
+        clone = pickle.loads(pickle.dumps(footprint))
+        assert clone == footprint
+        assert clone.token == token
+        txn = make_txn({"a"}, {"a"}, dependent=True, token=token)
+        wire = pickle.loads(pickle.dumps(txn))
+        assert wire.footprint_token == token
